@@ -1,0 +1,44 @@
+// Figure 7(c): 100 randomly generated degree-100 nets.
+//
+// The paper's stress case: PatLabor matches SALT at low wirelength and is
+// tighter at high wirelength; YSD's divide-and-conquer pays a large
+// wirelength penalty.
+#include "common.hpp"
+
+int main() {
+  using namespace patlabor;
+  util::Rng rng(31);
+  const std::size_t nets = util::scaled_count(100);
+  const lut::LookupTable table = bench::cached_lut(6);
+  const std::size_t lambda = static_cast<std::size_t>(
+      bench::env_int("PATLABOR_LAMBDA", 8));
+
+  eval::CurveAccumulator acc;
+  for (std::size_t i = 0; i < nets; ++i) {
+    const geom::Net net = netgen::uniform_net(rng, 100);
+    const auto pl = bench::run_patlabor(net, &table, lambda);
+    const auto sa = bench::run_salt(net);
+    const auto ys = bench::run_ysd(net);
+    const double w_norm = static_cast<double>(rsmt::rsmt(net).wirelength());
+    const double d_norm = static_cast<double>(rsma::star_delay(net));
+    acc.add("PatLabor", pl.frontier, w_norm, d_norm);
+    acc.add("SALT", sa.frontier, w_norm, d_norm);
+    acc.add("YSD*", ys.frontier, w_norm, d_norm);
+    acc.add_runtime("PatLabor", pl.seconds);
+    acc.add_runtime("SALT", sa.seconds);
+    acc.add_runtime("YSD*", ys.seconds);
+    if ((i + 1) % 10 == 0) {
+      std::printf("[fig7c] %zu / %zu nets\n", i + 1, nets);
+      std::fflush(stdout);
+    }
+  }
+
+  const auto grid = pareto::linspace(1.0, 1.6, 13);
+  std::printf("\n[Figure 7(c)] %zu random degree-100 nets, lambda = %zu\n",
+              nets, lambda);
+  bench::print_curve_report("[Figure 7(c)] averaged Pareto curves",
+                            "fig7c_deg100", acc, grid);
+  std::printf("Expected shape: PatLabor ~= SALT at low w, tighter at high "
+              "w; YSD's D&C is far off in wirelength.\n");
+  return 0;
+}

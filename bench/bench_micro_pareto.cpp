@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark): the Pareto-set algebra, the exact
+// solvers and the lookup-table query path.
+#include <benchmark/benchmark.h>
+
+#include "patlabor/patlabor.hpp"
+
+namespace {
+
+using namespace patlabor;
+
+pareto::ObjVec random_points(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  pareto::ObjVec pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform_int(0, 1 << 20), rng.uniform_int(0, 1 << 20)});
+  return pts;
+}
+
+void BM_ParetoFilter(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto copy = pts;
+    benchmark::DoNotOptimize(pareto::pareto_filter(std::move(copy)));
+  }
+}
+BENCHMARK(BM_ParetoFilter)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ParetoSum(benchmark::State& state) {
+  const auto a =
+      pareto::pareto_filter(random_points(static_cast<std::size_t>(state.range(0)), 2));
+  const auto b =
+      pareto::pareto_filter(random_points(static_cast<std::size_t>(state.range(0)), 3));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pareto::pareto_sum(a, b));
+}
+BENCHMARK(BM_ParetoSum)->Arg(64)->Arg(512);
+
+void BM_ParetoDw(benchmark::State& state) {
+  util::Rng rng(4);
+  const std::size_t degree = static_cast<std::size_t>(state.range(0));
+  geom::Net net;
+  while (net.pins.size() < degree)
+    net.pins.push_back({rng.uniform_int(0, 100000),
+                        rng.uniform_int(0, 100000)});
+  dw::ParetoDwOptions opts;
+  opts.want_trees = false;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dw::pareto_dw(net, opts));
+}
+BENCHMARK(BM_ParetoDw)->DenseRange(4, 9);
+
+void BM_LutQuery(benchmark::State& state) {
+  static const lut::LookupTable table = lut::LookupTable::generate(5);
+  util::Rng rng(5);
+  geom::Net net;
+  while (net.pins.size() < 5)
+    net.pins.push_back({rng.uniform_int(0, 100000),
+                        rng.uniform_int(0, 100000)});
+  for (auto _ : state) benchmark::DoNotOptimize(table.query(net));
+}
+BENCHMARK(BM_LutQuery);
+
+void BM_ExactRsmt(benchmark::State& state) {
+  util::Rng rng(6);
+  geom::Net net;
+  while (net.pins.size() < static_cast<std::size_t>(state.range(0)))
+    net.pins.push_back({rng.uniform_int(0, 100000),
+                        rng.uniform_int(0, 100000)});
+  for (auto _ : state) benchmark::DoNotOptimize(rsmt::exact_rsmt(net));
+}
+BENCHMARK(BM_ExactRsmt)->DenseRange(5, 9);
+
+void BM_SimplexDominance(benchmark::State& state) {
+  util::Rng rng(7);
+  const int rows = 4, dim = 10;
+  std::vector<exactlp::Count> d1(rows * dim), d2(rows * dim);
+  for (auto& v : d1) v = static_cast<exactlp::Count>(rng.index(4));
+  for (auto& v : d2) v = static_cast<exactlp::Count>(rng.index(4) + 1);
+  for (auto _ : state) {
+    exactlp::DominanceProver prover;
+    benchmark::DoNotOptimize(prover.delay_envelope_le(
+        exactlp::ParamView{{}, d1, rows, dim},
+        exactlp::ParamView{{}, d2, rows, dim}));
+  }
+}
+BENCHMARK(BM_SimplexDominance);
+
+void BM_PatLaborLargeNet(benchmark::State& state) {
+  static const lut::LookupTable table = lut::LookupTable::generate(5);
+  util::Rng rng(8);
+  geom::Net net;
+  while (net.pins.size() < static_cast<std::size_t>(state.range(0)))
+    net.pins.push_back({rng.uniform_int(0, 100000),
+                        rng.uniform_int(0, 100000)});
+  core::PatLaborOptions opt;
+  opt.lambda = 5;
+  opt.table = &table;
+  for (auto _ : state) benchmark::DoNotOptimize(core::patlabor(net, opt));
+}
+BENCHMARK(BM_PatLaborLargeNet)->Arg(20)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

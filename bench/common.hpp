@@ -1,0 +1,176 @@
+// Shared plumbing for the experiment harnesses.
+//
+// Every harness:
+//   * scales its instance counts by the REPRO_SCALE env var (default 1.0),
+//   * prints a paper-style ASCII table to stdout,
+//   * writes a CSV next to the current working directory,
+//   * reuses one on-disk lookup-table cache (patlabor_lut_cache.bin) so the
+//     ~20 s degree-6 generation is paid once per checkout.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "patlabor/patlabor.hpp"
+
+namespace patlabor::bench {
+
+inline const char* kLutCachePath = "patlabor_lut_cache.bin";
+
+/// Lookup table up to `max_degree`, loaded from the cache when the cached
+/// table is deep enough, regenerated (and re-cached) otherwise.
+inline lut::LookupTable cached_lut(int max_degree) {
+  try {
+    lut::LookupTable t = lut::LookupTable::load(kLutCachePath);
+    if (t.max_degree() >= max_degree) return t;
+  } catch (const std::exception&) {
+    // fall through to regeneration
+  }
+  std::printf("[setup] generating lookup tables up to degree %d "
+              "(cached in %s)...\n",
+              max_degree, kLutCachePath);
+  std::fflush(stdout);
+  lut::LookupTable t = lut::LookupTable::generate(max_degree);
+  try {
+    t.save(kLutCachePath);
+  } catch (const std::exception& e) {
+    std::printf("[setup] cache write failed (%s); continuing in-memory\n",
+                e.what());
+  }
+  return t;
+}
+
+/// Integer env knob with default.
+inline int env_int(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+/// The solution set of one baseline method on one net, Pareto-filtered, and
+/// the wall-clock seconds it took.
+struct MethodRun {
+  pareto::ObjVec frontier;
+  double seconds = 0.0;
+};
+
+inline MethodRun run_patlabor(const geom::Net& net,
+                              const lut::LookupTable* table,
+                              std::size_t lambda = 9) {
+  util::Timer timer;
+  core::PatLaborOptions opt;
+  opt.table = table;
+  opt.lambda = lambda;
+  auto r = core::patlabor(net, opt);
+  return {std::move(r.frontier), timer.seconds()};
+}
+
+inline MethodRun run_salt(const geom::Net& net) {
+  util::Timer timer;
+  const auto eps = baselines::default_epsilons();
+  const auto trees = baselines::salt_sweep(net, eps);
+  return {pareto::pareto_filter(tree::objectives(trees)), timer.seconds()};
+}
+
+inline MethodRun run_ysd(const geom::Net& net) {
+  util::Timer timer;
+  const auto betas = baselines::default_betas();
+  const auto trees = baselines::ysd_sweep(net, betas);
+  return {pareto::pareto_filter(tree::objectives(trees)), timer.seconds()};
+}
+
+inline MethodRun run_pd(const geom::Net& net) {
+  util::Timer timer;
+  const auto alphas = baselines::default_alphas();
+  const auto trees = baselines::pd_sweep(net, alphas, /*refine=*/true);
+  return {pareto::pareto_filter(tree::objectives(trees)), timer.seconds()};
+}
+
+inline MethodRun run_pareto_ks(const geom::Net& net,
+                               const lut::LookupTable* table) {
+  util::Timer timer;
+  core::ParetoKsOptions opt;
+  opt.table = table;
+  auto r = core::pareto_ks(net, opt);
+  return {std::move(r.frontier), timer.seconds()};
+}
+
+/// Shared computation of Tables III and IV: per degree 4..9, generate
+/// ICCAD-like nets, compute the true frontier (PatLabor is exact there),
+/// and record how each method's parameter sweep covers it.
+struct SmallDegreeStudy {
+  eval::OptimalityCounter patlabor;
+  eval::OptimalityCounter ysd;
+  eval::OptimalityCounter salt;
+  double patlabor_seconds = 0.0;
+  double ysd_seconds = 0.0;
+  double salt_seconds = 0.0;
+};
+
+inline SmallDegreeStudy run_small_degree_study(std::size_t nets_per_degree,
+                                               const lut::LookupTable& table,
+                                               std::uint64_t seed = 15) {
+  // Per-degree weights follow Table III's net-count proportions.
+  const std::size_t weights[] = {365, 257, 103, 75, 43, 62};  // deg 4..9
+  SmallDegreeStudy study;
+  util::Rng rng(seed);
+  for (std::size_t degree = 4; degree <= 9; ++degree) {
+    const std::size_t count = std::max<std::size_t>(
+        1, nets_per_degree * weights[degree - 4] / weights[0]);
+    for (std::size_t i = 0; i < count; ++i) {
+      const geom::Net net = netgen::clustered_net(rng, degree);
+      const MethodRun pl = run_patlabor(net, &table);
+      const MethodRun ys = run_ysd(net);
+      const MethodRun sa = run_salt(net);
+      study.patlabor_seconds += pl.seconds;
+      study.ysd_seconds += ys.seconds;
+      study.salt_seconds += sa.seconds;
+      study.patlabor.add(degree, pl.frontier, pl.frontier);
+      study.ysd.add(degree, pl.frontier, ys.frontier);
+      study.salt.add(degree, pl.frontier, sa.frontier);
+    }
+  }
+  return study;
+}
+
+/// Prints a Fig. 7-style averaged-curve table: one row per normalized-w
+/// grid point, one column per method, plus a runtime footer; also writes
+/// CSV and an SVG plot.
+inline void print_curve_report(const std::string& title,
+                               const std::string& stem,
+                               const eval::CurveAccumulator& acc,
+                               const std::vector<double>& grid) {
+  const auto methods = acc.methods();
+  std::vector<std::string> header{"w / w(FLUTE)"};
+  for (const auto& m : methods) header.push_back(m);
+  io::AsciiTable table(header);
+
+  std::vector<std::string> csv_header{"w_norm"};
+  for (const auto& m : methods) csv_header.push_back(m);
+  io::CsvWriter csv(stem + ".csv", csv_header);
+
+  std::vector<io::LabeledCurve> plots;
+  for (const auto& m : methods)
+    plots.push_back(io::LabeledCurve{m, acc.average(m, grid)});
+
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    std::vector<std::string> row{util::fixed(grid[g], 3)};
+    std::vector<std::string> csv_row{io::CsvWriter::num(grid[g])};
+    for (const auto& p : plots) {
+      row.push_back(util::fixed(p.points[g].d, 4));
+      csv_row.push_back(io::CsvWriter::num(p.points[g].d));
+    }
+    table.add_row(std::move(row));
+    csv.row(csv_row);
+  }
+  table.print(title + "  (cells: avg d / d(CL))");
+  std::printf("Runtime totals:");
+  for (const auto& m : methods)
+    std::printf("  %s %.1fs (%zu nets)", m.c_str(), acc.runtime(m),
+                acc.net_count(m));
+  std::printf("\nCSV: %s.csv   SVG: %s.svg\n", stem.c_str(), stem.c_str());
+  io::write_file(stem + ".svg", io::curves_svg(plots));
+}
+
+}  // namespace patlabor::bench

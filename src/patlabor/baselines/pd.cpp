@@ -1,0 +1,75 @@
+#include "patlabor/baselines/pd.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "patlabor/tree/refine.hpp"
+
+namespace patlabor::baselines {
+
+using geom::Length;
+using geom::Net;
+using tree::RoutingTree;
+
+RoutingTree prim_dijkstra(const Net& net, double alpha) {
+  const std::size_t n = net.degree();
+  RoutingTree t = RoutingTree::star(net);
+  if (n <= 2) return t;
+
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> key(n, std::numeric_limits<double>::infinity());
+  std::vector<Length> pl(n, 0);  // path length of tree nodes
+  std::vector<std::int32_t> best_parent(n, 0);
+  in_tree[0] = true;
+  for (std::size_t v = 1; v < n; ++v)
+    key[v] = static_cast<double>(geom::l1(net.pins[v], net.pins[0]));
+
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t v = 1; v < n; ++v)
+      if (!in_tree[v] && key[v] < best) {
+        best = key[v];
+        pick = v;
+      }
+    const auto parent = static_cast<std::size_t>(best_parent[pick]);
+    in_tree[pick] = true;
+    t.set_parent(pick, best_parent[pick]);
+    pl[pick] = pl[parent] + geom::l1(net.pins[pick], net.pins[parent]);
+    for (std::size_t v = 1; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double cost =
+          alpha * static_cast<double>(pl[pick]) +
+          static_cast<double>(geom::l1(net.pins[v], net.pins[pick]));
+      if (cost < key[v]) {
+        key[v] = cost;
+        best_parent[v] = static_cast<std::int32_t>(pick);
+      }
+    }
+  }
+  return t;
+}
+
+RoutingTree pd_ii(const Net& net, double alpha) {
+  RoutingTree t = prim_dijkstra(net, alpha);
+  // The PD-II improvement phase: wirelength-recovering Steinerization plus
+  // Pareto-improving edge substitution.
+  tree::refine(t, tree::RefineMode::kEither);
+  return t;
+}
+
+std::vector<double> default_alphas() {
+  return {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+std::vector<RoutingTree> pd_sweep(const Net& net,
+                                  std::span<const double> alphas,
+                                  bool refine) {
+  std::vector<RoutingTree> out;
+  out.reserve(alphas.size());
+  for (double a : alphas)
+    out.push_back(refine ? pd_ii(net, a) : prim_dijkstra(net, a));
+  return out;
+}
+
+}  // namespace patlabor::baselines

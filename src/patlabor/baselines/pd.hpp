@@ -1,0 +1,36 @@
+// Prim-Dijkstra and PD-II (Alpert et al. [2]), the classic timing-driven
+// routing baseline.
+//
+// PD grows a spanning tree from the source; attaching sink v via tree node
+// u costs  alpha * pathlength(u) + ||u - v||_1.  alpha = 0 is Prim (MST),
+// alpha = 1 is Dijkstra (shortest-path tree); intermediate alpha trades
+// wirelength against delay.  PD-II adds post-processing (Steinerization and
+// detour-aware edge substitution), which we share from tree::refine.
+//
+// As in the paper's evaluation, the baseline's "Pareto set" is obtained by
+// sweeping the tradeoff parameter and Pareto-filtering the results.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::baselines {
+
+/// One Prim-Dijkstra tree for a fixed alpha in [0, 1].
+tree::RoutingTree prim_dijkstra(const geom::Net& net, double alpha);
+
+/// PD-II: prim_dijkstra followed by Steinerization + edge substitution.
+tree::RoutingTree pd_ii(const geom::Net& net, double alpha);
+
+/// Default alpha sweep used in the experiments.
+std::vector<double> default_alphas();
+
+/// Sweeps alpha and returns all resulting trees (callers Pareto-filter by
+/// objective; trees are kept so the chosen solution can be realized).
+std::vector<tree::RoutingTree> pd_sweep(const geom::Net& net,
+                                        std::span<const double> alphas,
+                                        bool refine);
+
+}  // namespace patlabor::baselines

@@ -1,0 +1,79 @@
+#include "patlabor/baselines/salt.hpp"
+
+#include <cmath>
+
+#include "patlabor/rsmt/rsmt.hpp"
+#include "patlabor/tree/refine.hpp"
+
+namespace patlabor::baselines {
+
+using geom::Length;
+using geom::Net;
+using tree::RoutingTree;
+
+namespace {
+
+/// The shallow-light core: DFS from the root accumulating path length;
+/// any *pin* whose path exceeds (1+eps) times its L1 distance from the
+/// source is re-parented directly to the source (a breakpoint), resetting
+/// the accumulated length for its subtree.  Returns true if any breakpoint
+/// was introduced.
+bool enforce_shallowness(RoutingTree& t, double epsilon) {
+  const auto ch = t.children();
+  const geom::Point root = t.node(0);
+  bool changed = false;
+  // Iterative DFS carrying accumulated path length.
+  std::vector<std::pair<std::size_t, Length>> stack;
+  for (std::int32_t c : ch[0])
+    stack.emplace_back(static_cast<std::size_t>(c), 0);
+  while (!stack.empty()) {
+    auto [v, base] = stack.back();
+    stack.pop_back();
+    const auto p = static_cast<std::size_t>(t.parent(v));
+    Length pl = base + geom::l1(t.node(v), t.node(p));
+    if (t.is_pin(v) && v != 0) {
+      const Length direct = geom::l1(root, t.node(v));
+      if (static_cast<double>(pl) >
+          (1.0 + epsilon) * static_cast<double>(direct) + 1e-9) {
+        t.set_parent(v, 0);  // breakpoint: connect straight to the source
+        pl = direct;
+        changed = true;
+      }
+    }
+    for (std::int32_t c : ch[v])
+      stack.emplace_back(static_cast<std::size_t>(c), pl);
+  }
+  return changed;
+}
+
+}  // namespace
+
+RoutingTree salt(const Net& net, double epsilon) {
+  RoutingTree t = rsmt::rsmt(net);  // the FLUTE seed of the SALT paper
+  enforce_shallowness(t, epsilon);
+  t.normalize();
+  // SALT post-processing: recover wirelength without breaking delay.
+  tree::refine(t, tree::RefineMode::kEither);
+  // Refinement accepts moves by the max-delay objective, which can degrade
+  // an individual sink's shallowness; re-enforce the per-sink bound, then
+  // apply only delay-neutral cleanup.
+  if (enforce_shallowness(t, epsilon)) {
+    t.normalize();
+    tree::steinerize(t);
+  }
+  return t;
+}
+
+std::vector<double> default_epsilons() {
+  return {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.2, 2.0, 4.0, 8.0};
+}
+
+std::vector<RoutingTree> salt_sweep(const Net& net,
+                                    std::span<const double> epsilons) {
+  std::vector<RoutingTree> out;
+  out.reserve(epsilons.size());
+  for (double e : epsilons) out.push_back(salt(net, e));
+  return out;
+}
+
+}  // namespace patlabor::baselines

@@ -1,0 +1,32 @@
+// SALT (Chen & Young [5]): Steiner shallow-light trees.
+//
+// Given epsilon >= 0, SALT produces a tree in which every sink's path
+// length is at most (1 + epsilon) times its L1 distance from the source
+// (shallowness), while keeping total wirelength within a constant factor of
+// the Steiner minimum (lightness).  Our implementation follows the SALT
+// recipe: start from an RSMT (the FLUTE role is played by rsmt::rsmt),
+// run the shallow-light breakpoint pass (the KRY/Elkin-Solomon style DFS),
+// then the shared post-processing (Steinerization + edge substitution),
+// and finally re-enforce the shallowness bound, so the epsilon guarantee
+// survives refinement.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::baselines {
+
+/// One SALT tree for a fixed epsilon (>= 0).  epsilon = 0 degenerates
+/// toward a shortest-path tree; large epsilon returns the RSMT.
+tree::RoutingTree salt(const geom::Net& net, double epsilon);
+
+/// Default epsilon sweep used in the experiments.
+std::vector<double> default_epsilons();
+
+/// Sweeps epsilon; callers Pareto-filter the resulting objectives.
+std::vector<tree::RoutingTree> salt_sweep(const geom::Net& net,
+                                          std::span<const double> epsilons);
+
+}  // namespace patlabor::baselines

@@ -1,0 +1,134 @@
+#include "patlabor/baselines/ysd.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "patlabor/baselines/pd.hpp"
+#include "patlabor/baselines/salt.hpp"
+#include "patlabor/geom/box.hpp"
+#include "patlabor/rsma/rsma.hpp"
+#include "patlabor/rsmt/rsmt.hpp"
+#include "patlabor/tree/refine.hpp"
+
+namespace patlabor::baselines {
+
+using geom::Net;
+using geom::Point;
+using tree::RoutingTree;
+
+namespace {
+
+double scalarize(const pareto::Objective& o, double beta) {
+  return beta * static_cast<double>(o.w) +
+         (1.0 - beta) * static_cast<double>(o.d);
+}
+
+/// Candidate pool for small nets — the role of the learned model: a set of
+/// strong geometric constructions among which the scalarization picks.
+std::vector<RoutingTree> small_net_pool(const Net& net) {
+  std::vector<RoutingTree> pool;
+  pool.push_back(rsmt::rsmt(net));
+  pool.push_back(rsma::rsma(net));
+  const auto alphas = default_alphas();
+  for (double a : alphas) pool.push_back(pd_ii(net, a));
+  for (double e : {0.0, 0.1, 0.3, 0.7, 1.5}) pool.push_back(salt(net, e));
+  return pool;
+}
+
+std::size_t pick_best_index(const std::vector<RoutingTree>& pool,
+                            double beta) {
+  std::size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const double cost = scalarize(pool[i].objective(), beta);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Divide-and-conquer for large nets: bisect the sinks along the wider
+/// bounding-box axis, route each half recursively from the half's pin
+/// closest to the source, and stitch the half-roots to the source.
+void divide_edges(const Net& parent_net, const Point& global_source,
+                  std::vector<Point> sinks, double beta,
+                  std::vector<std::pair<Point, Point>>& edges) {
+  if (sinks.empty()) return;
+  // Local root: the sink closest to the source.
+  std::size_t root_idx = 0;
+  for (std::size_t i = 1; i < sinks.size(); ++i)
+    if (geom::l1(sinks[i], global_source) <
+        geom::l1(sinks[root_idx], global_source))
+      root_idx = i;
+  const Point local_root = sinks[root_idx];
+  edges.emplace_back(global_source, local_root);
+
+  if (sinks.size() + 1 <= kYsdSmallDegree) {
+    Net sub;
+    sub.pins.push_back(local_root);
+    for (std::size_t i = 0; i < sinks.size(); ++i)
+      if (i != root_idx) sub.pins.push_back(sinks[i]);
+    if (sub.pins.size() >= 2) {
+      const auto pool = small_net_pool(sub);
+      const RoutingTree& t = pool[pick_best_index(pool, beta)];
+      for (std::size_t v = 1; v < t.num_nodes(); ++v)
+        edges.emplace_back(t.node(v),
+                           t.node(static_cast<std::size_t>(t.parent(v))));
+    }
+    return;
+  }
+
+  // Bisect along the wider axis of the sink bounding box.
+  const geom::BBox bb = geom::bbox_of(sinks);
+  const bool split_x = (bb.xhi - bb.xlo) >= (bb.yhi - bb.ylo);
+  std::sort(sinks.begin(), sinks.end(), [&](const Point& a, const Point& b) {
+    return split_x ? (a.x != b.x ? a.x < b.x : a.y < b.y)
+                   : (a.y != b.y ? a.y < b.y : a.x < b.x);
+  });
+  const std::size_t half = sinks.size() / 2;
+  std::vector<Point> left(sinks.begin(),
+                          sinks.begin() + static_cast<std::ptrdiff_t>(half));
+  std::vector<Point> right(sinks.begin() + static_cast<std::ptrdiff_t>(half),
+                           sinks.end());
+  divide_edges(parent_net, local_root, std::move(left), beta, edges);
+  divide_edges(parent_net, local_root, std::move(right), beta, edges);
+}
+
+}  // namespace
+
+RoutingTree ysd(const Net& net, double beta) {
+  if (net.degree() <= kYsdSmallDegree) {
+    auto pool = small_net_pool(net);
+    return std::move(pool[pick_best_index(pool, beta)]);
+  }
+
+  std::vector<std::pair<Point, Point>> edges;
+  std::vector<Point> sinks(net.sinks().begin(), net.sinks().end());
+  divide_edges(net, net.source(), std::move(sinks), beta, edges);
+  RoutingTree t = RoutingTree::from_edges(net, edges);
+  t.normalize();
+  tree::steinerize(t);  // light cleanup only; keep the D&C structure
+  return t;
+}
+
+std::vector<double> default_betas() {
+  return {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+std::vector<RoutingTree> ysd_sweep(const Net& net,
+                                   std::span<const double> betas) {
+  std::vector<RoutingTree> out;
+  out.reserve(betas.size());
+  if (net.degree() <= kYsdSmallDegree) {
+    // Build the candidate pool once; selection per beta is O(pool).
+    const auto pool = small_net_pool(net);
+    for (double b : betas) out.push_back(pool[pick_best_index(pool, b)]);
+    return out;
+  }
+  for (double b : betas) out.push_back(ysd(net, b));
+  return out;
+}
+
+}  // namespace patlabor::baselines

@@ -1,0 +1,39 @@
+// YSD (Yang, Sun, Ding [6]) stand-in: a weighted-sum geometric constructor.
+//
+// The original YSD trains a neural network per degree and per weighted-sum
+// parameter (GPU inference) for small nets and uses a divide-and-conquer
+// framework for large nets.  Neither a GPU nor the trained models are
+// available offline, so per DESIGN.md §6 this module reproduces YSD's
+// *structural* behaviour, which is what the paper's evaluation exercises:
+//
+//   * it optimizes the scalarization  beta * w + (1 - beta) * d  over a
+//     pool of geometric constructions (so, like any weighted-sum method,
+//     it can only reach convex-hull points of the frontier — the weakness
+//     the paper highlights);
+//   * for large nets it recursively bisects the pin set and stitches
+//     subtrees (the divide-and-conquer that "performs poorly for
+//     wirelength minimization", Fig. 7(c)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::baselines {
+
+/// Degree threshold below which the weighted-sum pool selection is used
+/// directly (the paper's YSD uses per-degree models up to a small bound).
+inline constexpr std::size_t kYsdSmallDegree = 9;
+
+/// One YSD tree minimizing beta * w + (1 - beta) * d, beta in [0, 1].
+tree::RoutingTree ysd(const geom::Net& net, double beta);
+
+/// Default beta sweep used in the experiments.
+std::vector<double> default_betas();
+
+/// Sweeps beta; callers Pareto-filter the resulting objectives.
+std::vector<tree::RoutingTree> ysd_sweep(const geom::Net& net,
+                                         std::span<const double> betas);
+
+}  // namespace patlabor::baselines

@@ -1,0 +1,121 @@
+#include "patlabor/core/pareto_ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "patlabor/dw/pareto_dw.hpp"
+
+namespace patlabor::core {
+
+using geom::Net;
+using geom::Point;
+using tree::RoutingTree;
+
+namespace {
+
+struct Recursor {
+  const ParetoKsOptions& options;
+  const Point global_source;
+
+  /// Solves the sub-problem over `pins` (pins[0] is the sub-source) and
+  /// returns a Pareto set of trees over exactly those pins.
+  std::vector<RoutingTree> solve(std::vector<Point> pins, int depth) {
+    Net sub;
+    sub.pins = std::move(pins);
+    if (sub.degree() <= options.leaf_size || sub.degree() <= 3) {
+      if (options.table != nullptr && options.table->covers(sub.degree()))
+        return options.table->query(sub).trees;
+      return dw::pareto_dw(sub).trees;
+    }
+
+    // Median split, alternating axes with depth (the paper divides "on the
+    // x- or y-axis alternatively").  The median pin joins both halves so
+    // the union of sub-trees is connected.
+    std::vector<Point> pts = std::move(sub.pins);
+    const bool split_x = depth % 2 == 0;
+    std::sort(pts.begin(), pts.end(), [&](const Point& a, const Point& b) {
+      return split_x ? (a.x != b.x ? a.x < b.x : a.y < b.y)
+                     : (a.y != b.y ? a.y < b.y : a.x < b.x);
+    });
+    const std::size_t mid = pts.size() / 2;
+    const Point median = pts[mid];
+    std::vector<Point> left(pts.begin(),
+                            pts.begin() + static_cast<std::ptrdiff_t>(mid));
+    std::vector<Point> right(pts.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                             pts.end());
+    left.push_back(median);
+    right.push_back(median);
+
+    // Each half's source: the pin closest to the global source r.
+    auto with_source_first = [&](std::vector<Point> v) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < v.size(); ++i)
+        if (geom::l1(v[i], global_source) < geom::l1(v[best], global_source))
+          best = i;
+      std::swap(v[0], v[best]);
+      return v;
+    };
+    const auto s1 = solve(with_source_first(std::move(left)), depth + 1);
+    const auto s2 = solve(with_source_first(std::move(right)), depth + 1);
+
+    // Combine: union the edge sets of every (T1, T2) pairing (they share
+    // the median pin, so the union is connected), Pareto-filter.
+    Net merged;
+    merged.pins = pts;  // sub-source below; pts[0] is arbitrary here
+    // Restore this sub-problem's source order: closest pin to r first.
+    merged.pins = with_source_first(std::move(merged.pins));
+
+    std::vector<RoutingTree> combos;
+    std::size_t budget = options.max_combinations;
+    for (const RoutingTree& t1 : s1) {
+      for (const RoutingTree& t2 : s2) {
+        if (budget == 0) break;
+        --budget;
+        std::vector<std::pair<Point, Point>> edges;
+        for (const RoutingTree* t : {&t1, &t2})
+          for (std::size_t v = 1; v < t->num_nodes(); ++v)
+            edges.emplace_back(
+                t->node(v), t->node(static_cast<std::size_t>(t->parent(v))));
+        RoutingTree u = RoutingTree::from_edges(merged, edges);
+        if (!u.validate().empty()) continue;
+        u.normalize();
+        combos.push_back(std::move(u));
+      }
+    }
+    const auto objs = tree::objectives(combos);
+    std::vector<RoutingTree> kept;
+    for (std::size_t i : pareto::pareto_indices(objs))
+      kept.push_back(std::move(combos[i]));
+    return kept;
+  }
+};
+
+}  // namespace
+
+ParetoKsResult pareto_ks(const Net& net, const ParetoKsOptions& options) {
+  ParetoKsOptions opt = options;
+  if (opt.leaf_size == 0) {
+    const double lg = std::log2(static_cast<double>(net.degree()));
+    opt.leaf_size = static_cast<std::size_t>(std::max(4.0, std::floor(lg)));
+  }
+  opt.leaf_size = std::min<std::size_t>(opt.leaf_size, lut::kMaxLutDegree);
+
+  Recursor rec{opt, net.source()};
+  auto trees = rec.solve(net.pins, 0);
+
+  // The recursion's per-level delay accounting is relative to sub-sources;
+  // re-evaluate against the true source and filter once more.
+  ParetoKsResult result;
+  std::sort(trees.begin(), trees.end(),
+            [](const RoutingTree& a, const RoutingTree& b) {
+              return a.objective() < b.objective();
+            });
+  const auto objs = tree::objectives(trees);
+  for (std::size_t i : pareto::pareto_indices(objs)) {
+    result.frontier.push_back(objs[i]);
+    result.trees.push_back(std::move(trees[i]));
+  }
+  return result;
+}
+
+}  // namespace patlabor::core

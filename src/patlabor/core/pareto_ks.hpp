@@ -1,0 +1,40 @@
+// Pareto-KS (Section IV-B): the polynomial-time approximation algorithm.
+//
+// A multi-objective extension of the Kalpakis-Sherman partitioning
+// heuristic: recursively split the pin set at a median pin (alternating
+// axes), solve leaves of size <= leaf_size exactly (lookup table / numeric
+// Pareto-DW), and combine the children's Pareto sets of trees.  Theorem 4:
+// O(sqrt(n / log n))-approximation of every frontier point in
+// ~O(n^2 |S|^2) time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "patlabor/lut/lut.hpp"
+#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::core {
+
+struct ParetoKsOptions {
+  /// Leaf size for exact solving; the paper uses log n (Theorem 4) or the
+  /// lookup-table λ (Remark 1).  0 = pick max(4, floor(log2 n)).
+  std::size_t leaf_size = 0;
+  /// Optional lookup table for the leaves.
+  const lut::LookupTable* table = nullptr;
+  /// Cap on |S1| x |S2| combinations per merge (keeps combination cost
+  /// polynomial; the Pareto sets are small in practice, Theorem 2).
+  std::size_t max_combinations = 256;
+};
+
+struct ParetoKsResult {
+  pareto::ObjVec frontier;
+  std::vector<tree::RoutingTree> trees;
+};
+
+/// Runs Pareto-KS on a net of any degree.
+ParetoKsResult pareto_ks(const geom::Net& net,
+                         const ParetoKsOptions& options = {});
+
+}  // namespace patlabor::core

@@ -1,0 +1,71 @@
+// PatLabor (Section V): the practical Pareto optimizer for timing-driven
+// routing trees.
+//
+//   * degree <= 9 (the paper's λ): the exact Pareto frontier, via the
+//     lookup table when it covers the degree and the numeric Pareto-DW
+//     otherwise (both exact; the table is just faster);
+//   * degree > λ: Pareto local search — start from the RSMT (FLUTE role),
+//     repeatedly pick the worst-delay tree in the maintained Pareto set,
+//     select λ-1 pins with policy π, regenerate their sub-topology from
+//     the lookup table, splice the regenerated subtree back in, refine
+//     (SALT-style post-processing), and Pareto-merge the candidates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "patlabor/core/policy.hpp"
+#include "patlabor/lut/lut.hpp"
+#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::core {
+
+struct PatLaborOptions {
+  /// The paper's λ: sub-problem size of the local search and the threshold
+  /// below which the frontier is computed exactly.
+  std::size_t lambda = 9;
+  /// Optional lookup table; exact DW is used for uncovered degrees.
+  const lut::LookupTable* table = nullptr;
+  /// Pin-selection policy (defaults are the shipped trained parameters).
+  Policy policy;
+  /// Multiplier on the paper's floor(n / lambda) local-search iterations.
+  /// The default of 2 gives the coverage rotation one full pass over the
+  /// pins plus slack for revisiting the worst-delay trees.
+  int iteration_factor = 2;
+  /// Run SALT-style post-processing on regenerated candidates.
+  bool refine = true;
+};
+
+struct PatLaborResult {
+  pareto::ObjVec frontier;               ///< sorted by wirelength
+  std::vector<tree::RoutingTree> trees;  ///< parallel to frontier
+  int iterations = 0;                    ///< local-search iterations run
+};
+
+/// Runs PatLabor on a net of any degree.
+PatLaborResult patlabor(const geom::Net& net,
+                        const PatLaborOptions& options = {});
+
+/// Exact frontier helper shared by PatLabor, Pareto-KS and the policy
+/// trainer: lookup-table query when the table covers the degree, numeric
+/// Pareto-DW otherwise.
+std::pair<pareto::ObjVec, std::vector<tree::RoutingTree>>
+exact_small_frontier(const geom::Net& net, const lut::LookupTable* table);
+
+/// Reattachment policy for fragments orphaned by the subtree surgery.
+enum class ReattachMode {
+  kNearest,     ///< wirelength-greedy: attach at the closest point
+  kDelayAware,  ///< delay-greedy: minimize path length through the anchor
+};
+
+/// The tree-surgery primitive of the local search (exposed for testing):
+/// removes the minimal subtree of `t` spanning the source and `pins`,
+/// replaces it with `subtopology` (a tree over those pins rooted at the
+/// source), and re-attaches every orphaned fragment per `mode`.
+tree::RoutingTree regenerate_subtopology(
+    const tree::RoutingTree& t, const std::vector<std::size_t>& pins,
+    const tree::RoutingTree& subtopology,
+    ReattachMode mode = ReattachMode::kNearest);
+
+}  // namespace patlabor::core

@@ -1,0 +1,114 @@
+#include "patlabor/core/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "patlabor/geom/box.hpp"
+
+namespace patlabor::core {
+
+using geom::Length;
+using geom::Point;
+using tree::RoutingTree;
+
+void Policy::set_params(std::size_t degree, const PolicyParams& params) {
+  buckets_[degree] = params;
+}
+
+const PolicyParams& Policy::params_for(std::size_t degree) const {
+  auto it = buckets_.upper_bound(degree);
+  // The largest bucket key <= degree; buckets_ always contains key 0.
+  --it;
+  return it->second;
+}
+
+std::vector<std::size_t> Policy::select(const RoutingTree& t,
+                                        std::size_t count, double noise,
+                                        util::Rng* rng,
+                                        const std::vector<bool>* allowed) const {
+  const std::size_t num_pins = t.num_pins();
+  const PolicyParams& a = params_for(num_pins);
+  const Point r = t.node(0);
+  const auto pl = t.path_lengths();
+
+  std::vector<std::size_t> selected;
+  std::vector<Point> selected_pts{r};
+  std::vector<bool> used(num_pins, false);
+  // Scale for the noise term: the net's half-perimeter.
+  std::vector<Point> pins;
+  pins.reserve(num_pins);
+  for (std::size_t v = 0; v < num_pins; ++v) pins.push_back(t.node(v));
+  const double scale =
+      std::max<double>(1.0, static_cast<double>(geom::hpwl(pins)));
+
+  while (selected.size() < count && selected.size() + 1 < num_pins) {
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::size_t best = 0;
+    for (std::size_t p = 1; p < num_pins; ++p) {
+      if (used[p]) continue;
+      if (allowed != nullptr && !(*allowed)[p]) continue;
+      const Point pp = t.node(p);
+      double min_sel = std::numeric_limits<double>::infinity();
+      for (std::size_t s : selected)
+        min_sel = std::min(
+            min_sel, static_cast<double>(geom::l1(pp, t.node(s))));
+      if (selected.empty()) min_sel = 0.0;  // paper: zero before any pick
+      std::vector<Point> with_p = selected_pts;
+      with_p.push_back(pp);
+      const double hp =
+          selected.empty() ? 0.0 : static_cast<double>(geom::hpwl(with_p));
+      double score = a.far_source * static_cast<double>(geom::l1(r, pp)) +
+                     a.far_tree * static_cast<double>(pl[p]) -
+                     a.near_selected * min_sel - a.hpwl * hp;
+      if (rng != nullptr && noise > 0.0)
+        score += noise * scale * (rng->uniform01() * 2.0 - 1.0);
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    if (best == 0) break;  // no eligible pin remained
+    used[best] = true;
+    selected.push_back(best);
+    selected_pts.push_back(t.node(best));
+  }
+  return selected;
+}
+
+std::array<double, 4> Policy::features(const RoutingTree& t,
+                                       const std::vector<std::size_t>& selected,
+                                       std::size_t p) {
+  const Point r = t.node(0);
+  const Point pp = t.node(p);
+  const auto pl = t.path_lengths();
+  double min_sel = 0.0;
+  double hp = 0.0;
+  if (!selected.empty()) {
+    min_sel = std::numeric_limits<double>::infinity();
+    std::vector<Point> pts{r};
+    for (std::size_t s : selected) {
+      min_sel =
+          std::min(min_sel, static_cast<double>(geom::l1(pp, t.node(s))));
+      pts.push_back(t.node(s));
+    }
+    pts.push_back(pp);
+    hp = static_cast<double>(geom::hpwl(pts));
+  }
+  return {static_cast<double>(geom::l1(r, pp)), static_cast<double>(pl[p]),
+          -min_sel, -hp};
+}
+
+std::vector<std::size_t> Policy::select_pins(
+    const RoutingTree& t, std::size_t count,
+    const std::vector<bool>* allowed) const {
+  return select(t, count, 0.0, nullptr, allowed);
+}
+
+std::vector<std::size_t> Policy::select_pins_noisy(const RoutingTree& t,
+                                                   std::size_t count,
+                                                   double noise,
+                                                   util::Rng& rng) const {
+  return select(t, count, noise, &rng, nullptr);
+}
+
+}  // namespace patlabor::core

@@ -1,0 +1,81 @@
+// The pin-selection policy π of Section V-B.
+//
+// In each local-search iteration PatLabor picks λ-1 pins of the current
+// worst-delay tree and regenerates their sub-topology from the lookup
+// table.  Pins are selected greedily by the paper's scoring function
+//
+//   score(p) = a1 * ||r - p||_1 + a2 * dist_T(r, p)
+//            - a3 * min_selected ||p - p_k||_1 - a4 * HPWL(p, selected)
+//
+// (far-from-source pins drive delay; the negative terms keep the selection
+// geometrically tight so the regenerated sub-topology is meaningful).
+// Parameters are per-degree (curriculum-trained, Theorem 5); defaults were
+// produced by core/trainer.hpp on random instances.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "patlabor/tree/routing_tree.hpp"
+#include "patlabor/util/rng.hpp"
+
+namespace patlabor::core {
+
+/// The four nonnegative score weights (alpha_1..alpha_4 of the paper).
+struct PolicyParams {
+  double far_source = 1.0;    ///< a1: rectilinear distance from the source
+  double far_tree = 1.0;      ///< a2: tree path length from the source
+  double near_selected = 0.6; ///< a3: distance to the nearest selected pin
+  double hpwl = 0.3;          ///< a4: HPWL of the selected set plus p
+
+  std::array<double, 4> as_array() const {
+    return {far_source, far_tree, near_selected, hpwl};
+  }
+};
+
+class Policy {
+ public:
+  /// Policy with the shipped defaults for every degree.
+  Policy() = default;
+
+  /// Sets the parameters used for nets of degree >= `degree` (curriculum
+  /// buckets; the largest bucket <= n wins).
+  void set_params(std::size_t degree, const PolicyParams& params);
+
+  /// Parameters effective for a degree-n net.
+  const PolicyParams& params_for(std::size_t degree) const;
+
+  /// Greedily selects `count` sink pins of tree t (net pins 1..num_pins-1)
+  /// by descending score.  Returns pin indices into the net.  When
+  /// `allowed` is non-null, only pins with allowed[p] == true are eligible
+  /// (used by the local search's coverage rotation).
+  std::vector<std::size_t> select_pins(
+      const tree::RoutingTree& t, std::size_t count,
+      const std::vector<bool>* allowed = nullptr) const;
+
+  /// As select_pins, but scores are perturbed by `noise` * U(-1, 1) * scale
+  /// — used by the trainer to explore selections.
+  std::vector<std::size_t> select_pins_noisy(const tree::RoutingTree& t,
+                                             std::size_t count, double noise,
+                                             util::Rng& rng) const;
+
+  /// The signed feature vector g(p | selected) such that
+  /// score(p) = alpha . g  with alpha >= 0: (||r-p||, dist_T(r,p),
+  /// -min-dist-to-selected, -HPWL(p, selected)).  Used by the trainer.
+  static std::array<double, 4> features(const tree::RoutingTree& t,
+                                        const std::vector<std::size_t>& selected,
+                                        std::size_t p);
+
+ private:
+  std::vector<std::size_t> select(const tree::RoutingTree& t,
+                                  std::size_t count, double noise,
+                                  util::Rng* rng,
+                                  const std::vector<bool>* allowed) const;
+
+  /// Curriculum buckets: degree threshold -> params.
+  std::map<std::size_t, PolicyParams> buckets_{{0, PolicyParams{}}};
+};
+
+}  // namespace patlabor::core

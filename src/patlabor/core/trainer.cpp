@@ -1,0 +1,167 @@
+#include "patlabor/core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "patlabor/rsma/rsma.hpp"
+#include "patlabor/rsmt/rsmt.hpp"
+#include "patlabor/tree/refine.hpp"
+
+namespace patlabor::core {
+
+using geom::Net;
+using geom::Point;
+using pareto::Objective;
+using tree::RoutingTree;
+
+namespace {
+
+Net random_instance(util::Rng& rng, std::size_t degree) {
+  Net net;
+  while (net.pins.size() < degree)
+    net.pins.push_back(Point{rng.uniform_int(0, 100000),
+                             rng.uniform_int(0, 100000)});
+  return net;
+}
+
+/// One local-search rollout with (optionally noisy) selections; returns the
+/// final hypervolume and appends the per-step chosen-vs-rest feature
+/// differences of every selection it made.
+double rollout(const Net& net, const Policy& policy,
+               const TrainerOptions& opt, double noise, util::Rng& rng,
+               std::vector<std::array<double, 4>>* diffs) {
+  std::vector<RoutingTree> population{rsmt::rsmt(net)};
+  const Objective ref{2 * population[0].wirelength() + 1,
+                      2 * population[0].delay() + 1};
+  const int iterations = static_cast<int>(net.degree() / opt.lambda);
+  for (int it = 0; it < iterations; ++it) {
+    // Worst-delay tree.
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < population.size(); ++i)
+      if (population[i].delay() > population[pick].delay()) pick = i;
+    const RoutingTree target = population[pick];
+
+    const auto pins = noise > 0.0
+                          ? policy.select_pins_noisy(target, opt.lambda - 1,
+                                                     noise, rng)
+                          : policy.select_pins(target, opt.lambda - 1);
+    if (pins.empty()) break;
+    if (diffs != nullptr) {
+      // Record, for each selection step, chosen features minus the mean
+      // features of the not-chosen pins at that step.
+      std::vector<std::size_t> so_far;
+      for (std::size_t chosen : pins) {
+        std::array<double, 4> mean{};
+        int count = 0;
+        for (std::size_t p = 1; p < target.num_pins(); ++p) {
+          if (p == chosen) continue;
+          if (std::find(so_far.begin(), so_far.end(), p) != so_far.end())
+            continue;
+          const auto f = Policy::features(target, so_far, p);
+          for (int k = 0; k < 4; ++k)
+            mean[static_cast<std::size_t>(k)] += f[static_cast<std::size_t>(k)];
+          ++count;
+        }
+        const auto fc = Policy::features(target, so_far, chosen);
+        std::array<double, 4> diff{};
+        for (int k = 0; k < 4; ++k) {
+          const auto ku = static_cast<std::size_t>(k);
+          diff[ku] = fc[ku] - (count > 0 ? mean[ku] / count : 0.0);
+        }
+        diffs->push_back(diff);
+        so_far.push_back(chosen);
+      }
+    }
+
+    Net subnet;
+    subnet.pins.push_back(net.source());
+    for (std::size_t p : pins) subnet.pins.push_back(target.node(p));
+    auto [frontier, subs] = exact_small_frontier(subnet, opt.table);
+    (void)frontier;
+    for (const RoutingTree& sub : subs) {
+      RoutingTree cand = regenerate_subtopology(target, pins, sub);
+      if (!cand.validate().empty()) continue;
+      tree::refine(cand, tree::RefineMode::kEither, 2);
+      population.push_back(std::move(cand));
+    }
+    const auto objs = tree::objectives(population);
+    std::vector<RoutingTree> kept;
+    for (std::size_t i : pareto::pareto_indices(objs))
+      kept.push_back(std::move(population[i]));
+    population = std::move(kept);
+  }
+  return pareto::hypervolume(tree::objectives(population), ref);
+}
+
+}  // namespace
+
+TrainReport train_policy(const TrainerOptions& options) {
+  TrainReport report;
+  util::Rng rng(options.seed);
+  PolicyParams current;  // warm start: defaults, refined per degree
+
+  for (std::size_t degree = options.start_degree;
+       degree <= options.end_degree; degree += options.degree_step) {
+    Policy stage;
+    stage.set_params(0, current);
+
+    std::vector<std::array<double, 4>> good_diffs;
+    double gain_sum = 0.0;
+    int gain_count = 0;
+    for (int inst = 0; inst < options.instances_per_degree; ++inst) {
+      const Net net = random_instance(rng, degree);
+      const double base_hv =
+          rollout(net, stage, options, 0.0, rng, nullptr);
+
+      std::vector<std::pair<double, std::vector<std::array<double, 4>>>>
+          results;
+      for (int r = 0; r < options.rollouts_per_instance; ++r) {
+        std::vector<std::array<double, 4>> diffs;
+        const double hv = rollout(net, stage, options,
+                                  options.selection_noise, rng, &diffs);
+        results.emplace_back(hv, std::move(diffs));
+      }
+      // Rollouts beating the deterministic policy are the "good" set the
+      // regression imitates.
+      for (auto& [hv, diffs] : results) {
+        if (hv >= base_hv) {
+          good_diffs.insert(good_diffs.end(), diffs.begin(), diffs.end());
+          if (base_hv > 0.0) {
+            gain_sum += hv / base_hv - 1.0;
+            ++gain_count;
+          }
+        }
+      }
+    }
+
+    if (!good_diffs.empty()) {
+      // Fit: alpha proportional to the positive part of the mean feature
+      // difference (maximizes the average score margin subject to
+      // alpha >= 0), normalized so a1 + a2 = 2 like the defaults.
+      std::array<double, 4> mean{};
+      for (const auto& d : good_diffs)
+        for (int k = 0; k < 4; ++k)
+          mean[static_cast<std::size_t>(k)] += d[static_cast<std::size_t>(k)];
+      for (auto& m : mean)
+        m = std::max(0.0, m / static_cast<double>(good_diffs.size()));
+      const double norm = mean[0] + mean[1];
+      if (norm > 1e-12) {
+        const double s = 2.0 / norm;
+        const double lr = options.learn_rate;
+        current.far_source = (1 - lr) * current.far_source + lr * mean[0] * s;
+        current.far_tree = (1 - lr) * current.far_tree + lr * mean[1] * s;
+        current.near_selected =
+            (1 - lr) * current.near_selected + lr * mean[2] * s;
+        current.hpwl = (1 - lr) * current.hpwl + lr * mean[3] * s;
+      }
+    }
+
+    report.policy.set_params(degree, current);
+    report.per_degree.push_back(DegreeTrainReport{
+        degree, current,
+        gain_count > 0 ? gain_sum / gain_count : 0.0});
+  }
+  return report;
+}
+
+}  // namespace patlabor::core

@@ -1,0 +1,48 @@
+// Policy training (Section V-B, Theorem 5): a policy-iteration-style
+// procedure with a curriculum over net degree.
+//
+// For each degree n (starting at λ+1, warm-starting each degree from the
+// previous one): sample random instances, run PatLabor-style local search
+// with noise-perturbed pin selections, label the rollouts whose final
+// Pareto hypervolume beats the median as "good", and fit the score weights
+// by regressing toward the selections the good rollouts made (projected
+// onto alpha >= 0, as the paper's score requires nonnegative weights).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "patlabor/core/patlabor.hpp"
+#include "patlabor/core/policy.hpp"
+
+namespace patlabor::core {
+
+struct TrainerOptions {
+  std::size_t lambda = 9;
+  std::size_t start_degree = 10;   ///< the paper starts at λ + 1
+  std::size_t end_degree = 40;     ///< the paper trains up to 100
+  std::size_t degree_step = 10;    ///< curriculum stride
+  int instances_per_degree = 6;
+  int rollouts_per_instance = 8;
+  double selection_noise = 0.35;
+  double learn_rate = 0.5;         ///< blend toward the fitted weights
+  std::uint64_t seed = 1;
+  const lut::LookupTable* table = nullptr;
+};
+
+struct DegreeTrainReport {
+  std::size_t degree = 0;
+  PolicyParams params;
+  double mean_hypervolume_gain = 0.0;  ///< good rollouts vs. baseline policy
+};
+
+struct TrainReport {
+  Policy policy;
+  std::vector<DegreeTrainReport> per_degree;
+};
+
+/// Trains the pin-selection policy; returns the trained policy plus a
+/// per-degree report for the ablation bench.
+TrainReport train_policy(const TrainerOptions& options = {});
+
+}  // namespace patlabor::core

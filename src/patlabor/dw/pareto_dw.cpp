@@ -1,0 +1,243 @@
+#include "patlabor/dw/pareto_dw.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "patlabor/geom/box.hpp"
+#include "patlabor/geom/hanan.hpp"
+
+namespace patlabor::dw {
+
+using geom::BBox;
+using geom::HananGrid;
+using geom::Length;
+using geom::Net;
+using geom::NodeId;
+using geom::Point;
+using pareto::Objective;
+using tree::RoutingTree;
+
+namespace {
+
+// Provenance of a DP entry, for tree reconstruction.
+//
+// Each state (v, mask) keeps two arrays:
+//   base:  Pareto set of the merge phase (and leaf base case); entries
+//          reference `final` arrays of strictly smaller masks.
+//   final: Pareto set of base ∪ grow candidates; grow entries reference the
+//          `base` array of their origin node at the same mask (one grow
+//          round reaches the closure because L1 obeys the triangle
+//          inequality), copy entries reference `base` of the same state.
+struct BaseEntry {
+  Objective obj;
+  std::uint32_t sub = 0;   // merge: one side of the partition; 0 => leaf
+  std::int32_t ia = -1;    // merge: index into final(v, sub)
+  std::int32_t ib = -1;    // merge: index into final(v, mask^sub)
+};
+
+struct FinalEntry {
+  Objective obj;
+  NodeId from = -1;        // grow origin; -1 => copy of own base entry
+  std::int32_t idx = -1;   // index into base(from or v, mask)
+};
+
+struct State {
+  std::vector<BaseEntry> base;
+  std::vector<FinalEntry> final_;
+};
+
+class Solver {
+ public:
+  Solver(const Net& net, const ParetoDwOptions& options)
+      : net_(net), options_(options), grid_(net.pins) {}
+
+  ParetoDwResult run();
+
+ private:
+  State& state(NodeId v, std::uint32_t mask) {
+    return states_[static_cast<std::size_t>(v) * (full_ + 1) + mask];
+  }
+
+  void solve_mask(std::uint32_t mask);
+  void reconstruct_base(NodeId v, std::uint32_t mask, std::int32_t idx,
+                        std::vector<std::pair<Point, Point>>& edges);
+  void reconstruct_final(NodeId v, std::uint32_t mask, std::int32_t idx,
+                         std::vector<std::pair<Point, Point>>& edges);
+
+  const Net& net_;
+  ParetoDwOptions options_;
+  HananGrid grid_;
+  std::uint32_t full_ = 0;
+  std::vector<NodeId> active_;     // nodes surviving corner pruning
+  std::vector<NodeId> sink_node_;  // grid node of each sink
+  std::vector<State> states_;
+  std::uint64_t created_ = 0;
+};
+
+void Solver::solve_mask(std::uint32_t mask) {
+  const std::size_t nsinks = net_.degree() - 1;
+
+  // Bounding box of the sinks in `mask` (Lemma 3 restriction).
+  BBox bb;
+  for (std::size_t i = 0; i < nsinks; ++i)
+    if (mask & (1u << i)) bb.expand(net_.pins[i + 1]);
+
+  // ---- Merge phase (or leaf base case) ----
+  for (NodeId v : active_) {
+    const Point pv = grid_.point(v);
+    if (options_.bbox_restriction && !bb.contains(pv)) continue;
+    State& st = state(v, mask);
+    if ((mask & (mask - 1)) == 0) {
+      const std::size_t i = static_cast<std::size_t>(__builtin_ctz(mask));
+      const Length len = grid_.dist(v, sink_node_[i]);
+      st.base.push_back(BaseEntry{Objective{len, len}, 0, -1, -1});
+      ++created_;
+      continue;
+    }
+    std::vector<BaseEntry> cands;
+    const std::uint32_t low = mask & (~mask + 1);
+    for (std::uint32_t sub = (mask - 1) & mask; sub > 0;
+         sub = (sub - 1) & mask) {
+      if (!(sub & low)) continue;  // canonical side contains the lowest bit
+      const std::uint32_t rest = mask ^ sub;
+      const auto& fa = state(v, sub).final_;
+      const auto& fb = state(v, rest).final_;
+      for (std::size_t a = 0; a < fa.size(); ++a) {
+        for (std::size_t b = 0; b < fb.size(); ++b) {
+          cands.push_back(BaseEntry{
+              Objective{fa[a].obj.w + fb[b].obj.w,
+                        std::max(fa[a].obj.d, fb[b].obj.d)},
+              sub, static_cast<std::int32_t>(a),
+              static_cast<std::int32_t>(b)});
+        }
+      }
+    }
+    std::vector<Objective> objs;
+    objs.reserve(cands.size());
+    for (const auto& c : cands) objs.push_back(c.obj);
+    for (std::size_t k : pareto::pareto_indices(objs))
+      st.base.push_back(cands[k]);
+    created_ += st.base.size();
+  }
+
+  // ---- Grow phase: one L1-closure round from every base set ----
+  for (NodeId v : active_) {
+    State& st = state(v, mask);
+    std::vector<FinalEntry> cands;
+    for (std::size_t i = 0; i < st.base.size(); ++i)
+      cands.push_back(FinalEntry{st.base[i].obj, -1,
+                                 static_cast<std::int32_t>(i)});
+    for (NodeId u : active_) {
+      if (u == v) continue;
+      const State& su = state(u, mask);
+      if (su.base.empty()) continue;
+      const Length len = grid_.dist(u, v);
+      for (std::size_t i = 0; i < su.base.size(); ++i) {
+        const Objective& o = su.base[i].obj;
+        cands.push_back(FinalEntry{Objective{o.w + len, o.d + len}, u,
+                                   static_cast<std::int32_t>(i)});
+      }
+    }
+    std::vector<Objective> objs;
+    objs.reserve(cands.size());
+    for (const auto& c : cands) objs.push_back(c.obj);
+    for (std::size_t k : pareto::pareto_indices(objs))
+      st.final_.push_back(cands[k]);
+    created_ += st.final_.size();
+  }
+}
+
+void Solver::reconstruct_base(NodeId v, std::uint32_t mask, std::int32_t idx,
+                              std::vector<std::pair<Point, Point>>& edges) {
+  const BaseEntry& e =
+      state(v, mask).base[static_cast<std::size_t>(idx)];
+  if (e.sub == 0) {
+    const std::size_t i = static_cast<std::size_t>(__builtin_ctz(mask));
+    const NodeId s = sink_node_[i];
+    if (s != v) edges.emplace_back(grid_.point(v), grid_.point(s));
+    return;
+  }
+  reconstruct_final(v, e.sub, e.ia, edges);
+  reconstruct_final(v, mask ^ e.sub, e.ib, edges);
+}
+
+void Solver::reconstruct_final(NodeId v, std::uint32_t mask, std::int32_t idx,
+                               std::vector<std::pair<Point, Point>>& edges) {
+  const FinalEntry& e =
+      state(v, mask).final_[static_cast<std::size_t>(idx)];
+  if (e.from < 0) {
+    reconstruct_base(v, mask, e.idx, edges);
+    return;
+  }
+  edges.emplace_back(grid_.point(v), grid_.point(e.from));
+  reconstruct_base(e.from, mask, e.idx, edges);
+}
+
+ParetoDwResult Solver::run() {
+  const std::size_t n = net_.degree();
+  assert(n >= 2 && n <= 17 && "Pareto-DW is for small-degree nets");
+  const std::size_t nsinks = n - 1;
+  full_ = (1u << nsinks) - 1;
+
+  // Node universe after Lemma 2 pruning.
+  std::vector<bool> prunable(static_cast<std::size_t>(grid_.num_nodes()),
+                             false);
+  if (options_.corner_pruning) prunable = grid_.corner_prunable(net_.pins);
+  for (NodeId v = 0; v < grid_.num_nodes(); ++v)
+    if (!prunable[static_cast<std::size_t>(v)]) active_.push_back(v);
+
+  sink_node_.resize(nsinks);
+  for (std::size_t i = 0; i < nsinks; ++i)
+    sink_node_[i] = grid_.node_at(net_.pins[i + 1]);
+
+  states_.assign(static_cast<std::size_t>(grid_.num_nodes()) * (full_ + 1),
+                 State{});
+
+  for (std::uint32_t mask = 1; mask <= full_; ++mask) solve_mask(mask);
+
+  const NodeId root = grid_.node_at(net_.pins[0]);
+  const State& answer = state(root, full_);
+
+  ParetoDwResult result;
+  result.solutions_created = created_;
+  result.frontier.reserve(answer.final_.size());
+  for (const FinalEntry& e : answer.final_) result.frontier.push_back(e.obj);
+  // final_ sets are Pareto-filtered and pareto_indices returns objective
+  // order, so the frontier is already sorted/antichain.
+  if (options_.want_trees) {
+    result.trees.reserve(answer.final_.size());
+    for (std::size_t i = 0; i < answer.final_.size(); ++i) {
+      std::vector<std::pair<Point, Point>> edges;
+      reconstruct_final(root, full_, static_cast<std::int32_t>(i), edges);
+      RoutingTree t = RoutingTree::from_edges(net_, edges);
+      t.normalize();
+      result.trees.push_back(std::move(t));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ParetoDwResult pareto_dw(const Net& net, const ParetoDwOptions& options) {
+  if (net.degree() == 1) {
+    ParetoDwResult r;
+    r.frontier.push_back(Objective{0, 0});
+    if (options.want_trees) {
+      RoutingTree t = RoutingTree::star(net);
+      r.trees.push_back(std::move(t));
+    }
+    return r;
+  }
+  Solver solver(net, options);
+  return solver.run();
+}
+
+pareto::ObjVec pareto_frontier(const Net& net) {
+  ParetoDwOptions opts;
+  opts.want_trees = false;
+  return pareto_dw(net, opts).frontier;
+}
+
+}  // namespace patlabor::dw

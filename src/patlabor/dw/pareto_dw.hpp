@@ -1,0 +1,51 @@
+// Pareto-DW (Section IV-A of the paper): the exact exponential-time
+// algorithm computing the FULL Pareto frontier of timing-driven routing
+// trees on the Hanan grid.
+//
+// The dynamic program follows Eq. (1): S_{v,Q} is the Pareto set of
+// (wirelength, delay) pairs of trees rooted at grid node v spanning sink
+// subset Q, combined by
+//     merge:  S_{v,Q1} ⊕ S_{v,Q\Q1}   (wirelengths add, delays max)
+//     grow:   S_{u,Q} + ||u - v||_1   (both objectives shift)
+// with Pareto filtering after every step.  The answer is S_{r, sinks}.
+//
+// Pruning implements the paper's Lemma 2 (corner nodes can never host
+// useful Steiner/merge points) and Lemma 3 (merge states are only needed
+// inside the bounding box of their sink subset; outside nodes are reached
+// by the grow closure).  Both are exact and are ablated in
+// bench/bench_ablation_pruning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "patlabor/geom/net.hpp"
+#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::dw {
+
+struct ParetoDwOptions {
+  bool corner_pruning = true;    ///< Lemma 2
+  bool bbox_restriction = true;  ///< Lemma 3
+  bool want_trees = true;        ///< reconstruct a tree per frontier point
+};
+
+struct ParetoDwResult {
+  /// The exact Pareto frontier, sorted by wirelength ascending.
+  pareto::ObjVec frontier;
+  /// One optimal tree per frontier point (parallel to `frontier`);
+  /// empty when options.want_trees is false.
+  std::vector<tree::RoutingTree> trees;
+  /// Diagnostics: DP solution records created (proxy for state count).
+  std::uint64_t solutions_created = 0;
+};
+
+/// Runs Pareto-DW on a net of degree 2..16 (practical through ~10; the
+/// paper's use case is degree <= 9).
+ParetoDwResult pareto_dw(const geom::Net& net, const ParetoDwOptions& options = {});
+
+/// Convenience: frontier only, no tree reconstruction (faster).
+pareto::ObjVec pareto_frontier(const geom::Net& net);
+
+}  // namespace patlabor::dw

@@ -1,0 +1,42 @@
+#include "patlabor/eval/curves.hpp"
+
+namespace patlabor::eval {
+
+void CurveAccumulator::add(const std::string& method,
+                           std::span<const pareto::Objective> frontier,
+                           double w_norm, double d_norm) {
+  curves_[method].push_back(pareto::normalize(frontier, w_norm, d_norm));
+}
+
+void CurveAccumulator::add_runtime(const std::string& method, double seconds) {
+  runtimes_[method] += seconds;
+}
+
+std::vector<pareto::CurvePoint> CurveAccumulator::average(
+    const std::string& method, std::span<const double> grid) const {
+  const auto it = curves_.find(method);
+  if (it == curves_.end()) return {};
+  return pareto::average_curves(it->second, grid);
+}
+
+double CurveAccumulator::runtime(const std::string& method) const {
+  const auto it = runtimes_.find(method);
+  return it == runtimes_.end() ? 0.0 : it->second;
+}
+
+std::size_t CurveAccumulator::net_count(const std::string& method) const {
+  const auto it = curves_.find(method);
+  return it == curves_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> CurveAccumulator::methods() const {
+  std::vector<std::string> out;
+  out.reserve(curves_.size());
+  for (const auto& [name, c] : curves_) {
+    (void)c;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace patlabor::eval

@@ -1,0 +1,39 @@
+// Averaged, normalized Pareto-curve accumulation for Figure 7.
+//
+// Each net's frontier is normalized by w(FLUTE) and d(CL) (the paper's
+// normalizers: the RSMT wirelength and the arborescence delay), then the
+// curves are averaged on a fixed normalized-wirelength grid.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "patlabor/pareto/curve.hpp"
+
+namespace patlabor::eval {
+
+class CurveAccumulator {
+ public:
+  /// Adds one net's solution set for one method.
+  void add(const std::string& method,
+           std::span<const pareto::Objective> frontier, double w_norm,
+           double d_norm);
+
+  /// Records runtime (seconds) spent by a method; reported with the curve.
+  void add_runtime(const std::string& method, double seconds);
+
+  /// Averaged curve of a method on the given normalized-w grid.
+  std::vector<pareto::CurvePoint> average(const std::string& method,
+                                          std::span<const double> grid) const;
+
+  double runtime(const std::string& method) const;
+  std::size_t net_count(const std::string& method) const;
+  std::vector<std::string> methods() const;
+
+ private:
+  std::map<std::string, std::vector<std::vector<pareto::CurvePoint>>> curves_;
+  std::map<std::string, double> runtimes_;
+};
+
+}  // namespace patlabor::eval

@@ -1,0 +1,69 @@
+#include "patlabor/eval/metrics.hpp"
+
+#include <cassert>
+
+namespace patlabor::eval {
+
+bool is_non_optimal(std::span<const pareto::Objective> true_frontier,
+                    std::span<const pareto::Objective> found) {
+  return pareto::count_covered(true_frontier, found) == 0;
+}
+
+std::size_t frontier_points_found(
+    std::span<const pareto::Objective> true_frontier,
+    std::span<const pareto::Objective> found) {
+  return pareto::count_covered(true_frontier, found);
+}
+
+void OptimalityCounter::add(std::size_t degree,
+                            std::span<const pareto::Objective> true_frontier,
+                            std::span<const pareto::Objective> found) {
+  Row& row = rows_[degree];
+  ++row.nets;
+  row.frontier_total += true_frontier.size();
+  const std::size_t covered = pareto::count_covered(true_frontier, found);
+  row.found += covered;
+  if (covered == 0) ++row.non_optimal;
+}
+
+double OptimalityCounter::non_optimal_ratio(std::size_t degree) const {
+  const auto it = rows_.find(degree);
+  if (it == rows_.end() || it->second.nets == 0) return 0.0;
+  return static_cast<double>(it->second.non_optimal) /
+         static_cast<double>(it->second.nets);
+}
+
+void FrontierSizeStats::add(std::size_t degree, std::size_t frontier_size) {
+  auto& m = max_[degree];
+  m = std::max(m, frontier_size);
+  auto& [sum, count] = sum_count_[degree];
+  sum += static_cast<double>(frontier_size);
+  ++count;
+}
+
+double FrontierSizeStats::mean(std::size_t degree) const {
+  const auto it = sum_count_.find(degree);
+  if (it == sum_count_.end() || it->second.second == 0) return 0.0;
+  return it->second.first / static_cast<double>(it->second.second);
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LineFit fit;
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  return fit;
+}
+
+}  // namespace patlabor::eval

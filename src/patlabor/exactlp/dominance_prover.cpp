@@ -1,0 +1,73 @@
+#include "patlabor/exactlp/dominance_prover.hpp"
+
+#include <cassert>
+
+#include "patlabor/exactlp/simplex.hpp"
+
+namespace patlabor::exactlp {
+
+namespace {
+
+std::span<const Count> row_of(const ParamView& v, int r) {
+  return v.d.subspan(static_cast<std::size_t>(r) * v.dim,
+                     static_cast<std::size_t>(v.dim));
+}
+
+bool componentwise_le(std::span<const Count> a, std::span<const Count> b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] > b[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+bool DominanceProver::row_dominated(std::span<const Count> a,
+                                    const ParamView& d2) {
+  // Fast path: a single row of D² already dominates `a` componentwise.
+  for (int r = 0; r < d2.rows; ++r)
+    if (componentwise_le(a, row_of(d2, r))) return true;
+  if (d2.rows <= 1) return false;  // one row and it failed the fast path
+
+  // Exact LP feasibility:  λ >= 0, Σλ = 1, (D²)ᵀλ - s = a  (s >= 0).
+  // Variables: λ (m) then slacks s (dim); constraints: dim + 1 rows.
+  ++lp_calls_;
+  const int m = d2.rows;
+  const int dim = d2.dim;
+  LpProblem p;
+  const std::size_t nvars = static_cast<std::size_t>(m + dim);
+  p.c.assign(nvars, Fraction(0));
+  p.a.reserve(static_cast<std::size_t>(dim) + 1);
+  p.b.reserve(static_cast<std::size_t>(dim) + 1);
+  for (int i = 0; i < dim; ++i) {
+    std::vector<Fraction> row(nvars, Fraction(0));
+    for (int j = 0; j < m; ++j) row[static_cast<std::size_t>(j)] =
+        Fraction(row_of(d2, j)[static_cast<std::size_t>(i)]);
+    row[static_cast<std::size_t>(m + i)] = Fraction(-1);  // minus slack
+    p.a.push_back(std::move(row));
+    p.b.push_back(Fraction(a[static_cast<std::size_t>(i)]));
+  }
+  std::vector<Fraction> simplex_row(nvars, Fraction(0));
+  for (int j = 0; j < m; ++j)
+    simplex_row[static_cast<std::size_t>(j)] = Fraction(1);
+  p.a.push_back(std::move(simplex_row));
+  p.b.push_back(Fraction(1));
+  return feasible(p);
+}
+
+bool DominanceProver::delay_envelope_le(const ParamView& d1,
+                                        const ParamView& d2) {
+  assert(d1.dim == d2.dim);
+  for (int r = 0; r < d1.rows; ++r)
+    if (!row_dominated(row_of(d1, r), d2)) return false;
+  return true;
+}
+
+bool DominanceProver::prunable(const ParamView& s1, const ParamView& s2) {
+  // Wirelength condition of Eq. (2): W¹ <= W² componentwise.
+  if (!componentwise_le(s1.w, s2.w)) return false;
+  // Delay condition: envelope of D¹ below envelope of D².
+  return delay_envelope_le(s1, s2);
+}
+
+}  // namespace patlabor::exactlp

@@ -1,0 +1,56 @@
+// Decides the parametric pruning condition of Lemma 1 (Eq. (2) of the paper).
+//
+// A lookup-table candidate is a pair (W, D): W[i] counts how many tree
+// segments cross Hanan strip i (so w = Σ W[i]·l[i]) and D[s][i] counts the
+// crossings of strip i on the root→sink-s path (so d = max_s Σ D[s][i]·l[i]).
+// Candidate (W², D²) is *safely prunable* given (W¹, D¹) when for every
+// nonnegative strip-length vector l
+//
+//     Σ (W²−W¹)·l >= 0   and   max-row(D¹ l) <= max-row(D² l).
+//
+// The paper discharges this first-order formula with an SMT solver (Z3);
+// we decide it exactly instead (see DESIGN.md):
+//   * the wirelength condition holds iff W¹ <= W² componentwise;
+//   * the delay condition holds iff every row a of D¹ admits λ in the
+//     simplex with (D²)ᵀλ >= a componentwise (LP duality over the simplex),
+//     which our exact rational simplex checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace patlabor::exactlp {
+
+/// Usage counts are small nonnegative integers.
+using Count = std::int32_t;
+
+/// A borrowed view of one parametric solution.  `dim` is the number of
+/// Hanan strips (2n-2); `rows` the number of sinks (n-1); D is row-major
+/// rows x dim.
+struct ParamView {
+  std::span<const Count> w;  ///< size dim
+  std::span<const Count> d;  ///< size rows * dim, row-major
+  int rows = 0;
+  int dim = 0;
+};
+
+class DominanceProver {
+ public:
+  /// True iff max-row(D¹ l) <= max-row(D² l) for all l >= 0, i.e. the upper
+  /// envelope of d1's rows lies below d2's on the nonnegative orthant.
+  bool delay_envelope_le(const ParamView& d1, const ParamView& d2);
+
+  /// True iff (W², D²) may be pruned in favour of (W¹, D¹) per Eq. (2).
+  bool prunable(const ParamView& s1, const ParamView& s2);
+
+  /// Diagnostics: number of LP solves performed (fast paths excluded).
+  std::int64_t lp_calls() const { return lp_calls_; }
+
+ private:
+  /// Does row `a` admit a convex combination of d2's rows dominating it?
+  bool row_dominated(std::span<const Count> a, const ParamView& d2);
+
+  std::int64_t lp_calls_ = 0;
+};
+
+}  // namespace patlabor::exactlp

@@ -1,0 +1,116 @@
+// Exact rational arithmetic on 128-bit integers.
+//
+// Used by the simplex solver that decides the Lemma-1 pruning condition
+// (Eq. (2) of the paper).  The paper calls Z3 for this; we decide the same
+// first-order condition with an exact LP instead (see DESIGN.md §3/§6), so
+// pruning is sound and bit-reproducible.  Problem sizes are tiny (matrices
+// of single-digit integer counts), so 128-bit numerators/denominators with
+// per-operation normalization never overflow in practice; overflow is
+// checked in debug builds.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace patlabor::exactlp {
+
+using Int = __int128;
+
+/// Greatest common divisor for 128-bit integers (std::gcd lacks support).
+constexpr Int gcd128(Int a, Int b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// A normalized rational: den > 0, gcd(|num|, den) == 1.
+class Fraction {
+ public:
+  constexpr Fraction() = default;
+  constexpr Fraction(std::int64_t v) : num_(v), den_(1) {}  // NOLINT implicit
+  constexpr Fraction(Int num, Int den) : num_(num), den_(den) { normalize(); }
+
+  constexpr Int num() const { return num_; }
+  constexpr Int den() const { return den_; }
+
+  constexpr bool is_zero() const { return num_ == 0; }
+  constexpr bool is_negative() const { return num_ < 0; }
+  constexpr bool is_positive() const { return num_ > 0; }
+
+  constexpr Fraction operator-() const { return Fraction(-num_, den_, Raw{}); }
+
+  friend constexpr Fraction operator+(const Fraction& a, const Fraction& b) {
+    return Fraction(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend constexpr Fraction operator-(const Fraction& a, const Fraction& b) {
+    return Fraction(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend constexpr Fraction operator*(const Fraction& a, const Fraction& b) {
+    // Cross-reduce before multiplying to keep magnitudes small.
+    const Int g1 = gcd128(a.num_, b.den_);
+    const Int g2 = gcd128(b.num_, a.den_);
+    const Int n1 = g1 != 0 ? a.num_ / g1 : a.num_;
+    const Int d2 = g1 != 0 ? b.den_ / g1 : b.den_;
+    const Int n2 = g2 != 0 ? b.num_ / g2 : b.num_;
+    const Int d1 = g2 != 0 ? a.den_ / g2 : a.den_;
+    return Fraction(n1 * n2, d1 * d2);
+  }
+  friend constexpr Fraction operator/(const Fraction& a, const Fraction& b) {
+    assert(!b.is_zero());
+    return a * Fraction(b.den_, b.num_);
+  }
+
+  Fraction& operator+=(const Fraction& o) { return *this = *this + o; }
+  Fraction& operator-=(const Fraction& o) { return *this = *this - o; }
+  Fraction& operator*=(const Fraction& o) { return *this = *this * o; }
+  Fraction& operator/=(const Fraction& o) { return *this = *this / o; }
+
+  friend constexpr bool operator==(const Fraction& a, const Fraction& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend constexpr bool operator<(const Fraction& a, const Fraction& b) {
+    return (a - b).is_negative();
+  }
+  friend constexpr bool operator<=(const Fraction& a, const Fraction& b) {
+    return !(b < a);
+  }
+  friend constexpr bool operator>(const Fraction& a, const Fraction& b) {
+    return b < a;
+  }
+  friend constexpr bool operator>=(const Fraction& a, const Fraction& b) {
+    return !(a < b);
+  }
+
+  /// Approximate double value (for diagnostics only; never used to decide).
+  double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+ private:
+  struct Raw {};  // tag: construct without normalization
+  constexpr Fraction(Int num, Int den, Raw) : num_(num), den_(den) {}
+
+  constexpr void normalize() {
+    assert(den_ != 0);
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const Int g = gcd128(num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  Int num_ = 0;
+  Int den_ = 1;
+};
+
+}  // namespace patlabor::exactlp

@@ -1,0 +1,173 @@
+#include "patlabor/exactlp/simplex.hpp"
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+namespace patlabor::exactlp {
+
+namespace {
+
+// Dense tableau: rows_ holds the m constraint rows in canonical form with
+// respect to basis_; column layout is [original vars | artificials | rhs].
+class Tableau {
+ public:
+  Tableau(const LpProblem& p)
+      : m_(p.a.size()),
+        n_(p.c.size()),
+        total_(n_ + m_),
+        rows_(m_, std::vector<Fraction>(total_ + 1)),
+        basis_(m_) {
+    for (std::size_t i = 0; i < m_; ++i) {
+      assert(p.a[i].size() == n_);
+      assert(p.b[i] >= Fraction(0));
+      for (std::size_t j = 0; j < n_; ++j) rows_[i][j] = p.a[i][j];
+      rows_[i][n_ + i] = Fraction(1);
+      rows_[i][total_] = p.b[i];
+      basis_[i] = n_ + i;
+    }
+  }
+
+  std::size_t num_rows() const { return m_; }
+  std::size_t num_original() const { return n_; }
+  std::size_t basis(std::size_t i) const { return basis_[i]; }
+  const Fraction& rhs(std::size_t i) const { return rows_[i][total_]; }
+  const Fraction& at(std::size_t i, std::size_t j) const { return rows_[i][j]; }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const Fraction inv = Fraction(1) / rows_[row][col];
+    for (auto& v : rows_[row]) v *= inv;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == row || rows_[i][col].is_zero()) continue;
+      const Fraction f = rows_[i][col];
+      for (std::size_t j = 0; j <= total_; ++j)
+        rows_[i][j] -= f * rows_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  /// Runs simplex with Bland's rule minimizing the cost vector `cost`
+  /// (indexed over all columns incl. artificials).  `allow` marks columns
+  /// eligible to enter the basis.  Returns false on unboundedness.
+  bool minimize(const std::vector<Fraction>& cost,
+                const std::vector<bool>& allow) {
+    while (true) {
+      // Reduced costs: r_j = c_j - c_B B^{-1} A_j; recomputed from scratch
+      // each iteration — exact and plenty fast at these sizes.
+      std::size_t enter = total_;  // sentinel: none
+      for (std::size_t j = 0; j < total_; ++j) {
+        if (!allow[j] || is_basic(j)) continue;
+        Fraction r = cost[j];
+        for (std::size_t i = 0; i < m_; ++i) {
+          if (!cost[basis_[i]].is_zero())
+            r -= cost[basis_[i]] * rows_[i][j];
+        }
+        if (r.is_negative()) {
+          enter = j;  // Bland: smallest improving index
+          break;
+        }
+      }
+      if (enter == total_) return true;  // optimal
+
+      // Ratio test, Bland tie-break on smallest basis variable index.
+      std::size_t leave = m_;
+      Fraction best_ratio;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (!rows_[i][enter].is_positive()) continue;
+        const Fraction ratio = rows_[i][total_] / rows_[i][enter];
+        if (leave == m_ || ratio < best_ratio ||
+            (ratio == best_ratio && basis_[i] < basis_[leave])) {
+          leave = i;
+          best_ratio = ratio;
+        }
+      }
+      if (leave == m_) return false;  // unbounded
+      pivot(leave, enter);
+    }
+  }
+
+  Fraction objective_value(const std::vector<Fraction>& cost) const {
+    Fraction z(0);
+    for (std::size_t i = 0; i < m_; ++i)
+      z += cost[basis_[i]] * rows_[i][total_];
+    return z;
+  }
+
+  bool is_basic(std::size_t col) const {
+    for (std::size_t i = 0; i < m_; ++i)
+      if (basis_[i] == col) return true;
+    return false;
+  }
+
+  /// After phase 1: pivots artificial variables out of the basis where
+  /// possible; rows that cannot pivot out are redundant (all-zero in the
+  /// original columns) and are neutralized by leaving the zero-valued
+  /// artificial basic — harmless for phase 2 since its column is barred.
+  void expel_artificials() {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) continue;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (!rows_[i][j].is_zero()) {
+          pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t total_;
+  std::vector<std::vector<Fraction>> rows_;
+  std::vector<std::size_t> basis_;
+};
+
+}  // namespace
+
+LpResult solve(const LpProblem& problem) {
+  LpResult result;
+  const std::size_t m = problem.a.size();
+  const std::size_t n = problem.c.size();
+  Tableau tab(problem);
+  const std::size_t total = n + m;
+
+  // Phase 1: minimize the sum of artificials.
+  std::vector<Fraction> cost1(total, Fraction(0));
+  for (std::size_t j = n; j < total; ++j) cost1[j] = Fraction(1);
+  std::vector<bool> allow_all(total, true);
+  const bool ok1 = tab.minimize(cost1, allow_all);
+  assert(ok1 && "phase 1 is never unbounded");
+  (void)ok1;
+  if (tab.objective_value(cost1).is_positive()) {
+    result.status = LpStatus::kInfeasible;
+    return result;
+  }
+  tab.expel_artificials();
+
+  // Phase 2: original objective; artificial columns barred from entering.
+  std::vector<Fraction> cost2(total, Fraction(0));
+  for (std::size_t j = 0; j < n; ++j) cost2[j] = problem.c[j];
+  std::vector<bool> allow_orig(total, false);
+  for (std::size_t j = 0; j < n; ++j) allow_orig[j] = true;
+  if (!tab.minimize(cost2, allow_orig)) {
+    result.status = LpStatus::kUnbounded;
+    return result;
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.objective = tab.objective_value(cost2);
+  result.x.assign(n, Fraction(0));
+  for (std::size_t i = 0; i < m; ++i)
+    if (tab.basis(i) < n) result.x[tab.basis(i)] = tab.rhs(i);
+  return result;
+}
+
+bool feasible(const LpProblem& problem) {
+  LpProblem p = problem;
+  p.c.assign(problem.a.empty() ? problem.c.size() : problem.a[0].size(),
+             Fraction(0));
+  return solve(p).status == LpStatus::kOptimal;
+}
+
+}  // namespace patlabor::exactlp

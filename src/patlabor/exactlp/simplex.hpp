@@ -1,0 +1,41 @@
+// A small exact simplex solver (Bland's rule, rational pivoting).
+//
+// Solves   min cᵀx   s.t.  Ax = b,  x >= 0,  b >= 0
+// via a built-in phase-1 (artificial variables).  Intended for the tiny
+// LPs arising in Lemma-1 dominance proofs (tens of variables at most);
+// Bland's rule guarantees termination, rational arithmetic guarantees
+// exact answers.
+#pragma once
+
+#include <vector>
+
+#include "patlabor/exactlp/fraction.hpp"
+
+namespace patlabor::exactlp {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  Fraction objective;        ///< valid when status == kOptimal
+  std::vector<Fraction> x;   ///< primal solution when optimal
+};
+
+/// Standard-form LP.  All b[i] must be >= 0 (negate rows beforehand).
+struct LpProblem {
+  std::vector<std::vector<Fraction>> a;  ///< m rows of n coefficients
+  std::vector<Fraction> b;               ///< m right-hand sides, >= 0
+  std::vector<Fraction> c;               ///< n objective coefficients (min)
+};
+
+/// Solves the LP exactly.
+LpResult solve(const LpProblem& problem);
+
+/// Feasibility-only convenience: is {Ax = b, x >= 0} nonempty?
+bool feasible(const LpProblem& problem);
+
+}  // namespace patlabor::exactlp

@@ -1,0 +1,64 @@
+// Axis-aligned bounding boxes and half-perimeter wirelength (HPWL).
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "patlabor/geom/point.hpp"
+
+namespace patlabor::geom {
+
+/// Axis-aligned bounding box. Empty() boxes compare invalid for contains().
+struct BBox {
+  Coord xlo = 1;
+  Coord ylo = 1;
+  Coord xhi = 0;  // xhi < xlo encodes "empty"
+  Coord yhi = 0;
+
+  constexpr bool empty() const { return xhi < xlo || yhi < ylo; }
+
+  /// Expands to include p.
+  constexpr void expand(const Point& p) {
+    if (empty()) {
+      xlo = xhi = p.x;
+      ylo = yhi = p.y;
+      return;
+    }
+    xlo = std::min(xlo, p.x);
+    xhi = std::max(xhi, p.x);
+    ylo = std::min(ylo, p.y);
+    yhi = std::max(yhi, p.y);
+  }
+
+  /// True when p lies inside or on the boundary.
+  constexpr bool contains(const Point& p) const {
+    return !empty() && p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+
+  /// Half-perimeter of the box; 0 for empty boxes.
+  constexpr Length half_perimeter() const {
+    return empty() ? 0 : (xhi - xlo) + (yhi - ylo);
+  }
+
+  /// L1 projection of p onto the box (nearest point inside/on boundary).
+  constexpr Point project(const Point& p) const {
+    return Point{std::clamp(p.x, xlo, xhi), std::clamp(p.y, ylo, yhi)};
+  }
+
+  friend constexpr bool operator==(const BBox&, const BBox&) = default;
+};
+
+/// Bounding box of a point set.
+constexpr BBox bbox_of(std::span<const Point> pts) {
+  BBox b;
+  for (const Point& p : pts) b.expand(p);
+  return b;
+}
+
+/// Half-perimeter wirelength of a point set (the HPWL term in the
+/// PatLabor pin-selection score).
+constexpr Length hpwl(std::span<const Point> pts) {
+  return bbox_of(pts).half_perimeter();
+}
+
+}  // namespace patlabor::geom

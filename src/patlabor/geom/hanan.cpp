@@ -1,0 +1,71 @@
+#include "patlabor/geom/hanan.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace patlabor::geom {
+
+HananGrid::HananGrid(std::span<const Point> pins) {
+  xs_.reserve(pins.size());
+  ys_.reserve(pins.size());
+  for (const Point& p : pins) {
+    xs_.push_back(p.x);
+    ys_.push_back(p.y);
+  }
+  std::sort(xs_.begin(), xs_.end());
+  xs_.erase(std::unique(xs_.begin(), xs_.end()), xs_.end());
+  std::sort(ys_.begin(), ys_.end());
+  ys_.erase(std::unique(ys_.begin(), ys_.end()), ys_.end());
+
+  x_gaps_.reserve(xs_.size() > 0 ? xs_.size() - 1 : 0);
+  for (std::size_t i = 1; i < xs_.size(); ++i)
+    x_gaps_.push_back(xs_[i] - xs_[i - 1]);
+  y_gaps_.reserve(ys_.size() > 0 ? ys_.size() - 1 : 0);
+  for (std::size_t i = 1; i < ys_.size(); ++i)
+    y_gaps_.push_back(ys_[i] - ys_[i - 1]);
+}
+
+int HananGrid::x_rank(Coord x) const {
+  const auto it = std::lower_bound(xs_.begin(), xs_.end(), x);
+  assert(it != xs_.end() && *it == x && "coordinate not on the Hanan grid");
+  return static_cast<int>(it - xs_.begin());
+}
+
+int HananGrid::y_rank(Coord y) const {
+  const auto it = std::lower_bound(ys_.begin(), ys_.end(), y);
+  assert(it != ys_.end() && *it == y && "coordinate not on the Hanan grid");
+  return static_cast<int>(it - ys_.begin());
+}
+
+NodeId HananGrid::node_at(const Point& p) const {
+  return node(x_rank(p.x), y_rank(p.y));
+}
+
+std::vector<bool> HananGrid::corner_prunable(
+    std::span<const Point> pins) const {
+  // For each node v, check the four closed quadrants at v.  If one of them
+  // contains no pin at all, v is a "corner node" in the sense of Lemma 2:
+  // any tree using v as a Steiner point could slide v toward the pins and
+  // not get worse in either objective.
+  std::vector<bool> prunable(static_cast<std::size_t>(num_nodes()), false);
+  for (int xi = 0; xi < nx(); ++xi) {
+    for (int yi = 0; yi < ny(); ++yi) {
+      const Point v{xs_[static_cast<std::size_t>(xi)],
+                    ys_[static_cast<std::size_t>(yi)]};
+      bool ll = false, lr = false, ul = false, ur = false;  // quadrant hit
+      bool is_pin = false;
+      for (const Point& p : pins) {
+        if (p == v) is_pin = true;
+        if (p.x <= v.x && p.y <= v.y) ll = true;
+        if (p.x >= v.x && p.y <= v.y) lr = true;
+        if (p.x <= v.x && p.y >= v.y) ul = true;
+        if (p.x >= v.x && p.y >= v.y) ur = true;
+      }
+      if (!is_pin && !(ll && lr && ul && ur))
+        prunable[static_cast<std::size_t>(node(xi, yi))] = true;
+    }
+  }
+  return prunable;
+}
+
+}  // namespace patlabor::geom

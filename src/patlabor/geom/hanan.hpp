@@ -1,0 +1,76 @@
+// The Hanan grid of a pin set.
+//
+// Hanan [20] showed an optimal RSMT exists on the grid induced by the pins'
+// x/y coordinates; the paper observes the same holds for Pareto-optimal
+// timing-driven routing trees, so both the numeric Pareto-DW (src/patlabor/dw)
+// and the exact RSMT engine (src/patlabor/rsmt) search this grid only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "patlabor/geom/point.hpp"
+
+namespace patlabor::geom {
+
+/// Grid node index; nodes are numbered column-major: id = xi * ny + yi.
+using NodeId = std::int32_t;
+
+class HananGrid {
+ public:
+  /// Builds the grid from a pin set (duplicates allowed; coordinates are
+  /// deduplicated).
+  explicit HananGrid(std::span<const Point> pins);
+
+  /// Number of distinct x coordinates.
+  int nx() const { return static_cast<int>(xs_.size()); }
+  /// Number of distinct y coordinates.
+  int ny() const { return static_cast<int>(ys_.size()); }
+  /// Total node count nx() * ny().
+  int num_nodes() const { return nx() * ny(); }
+
+  NodeId node(int xi, int yi) const {
+    return static_cast<NodeId>(xi) * ny() + yi;
+  }
+  int x_index(NodeId v) const { return static_cast<int>(v) / ny(); }
+  int y_index(NodeId v) const { return static_cast<int>(v) % ny(); }
+
+  Point point(NodeId v) const {
+    return Point{xs_[static_cast<std::size_t>(x_index(v))],
+                 ys_[static_cast<std::size_t>(y_index(v))]};
+  }
+
+  /// Grid node exactly at p; p must lie on grid coordinates (all pins do).
+  NodeId node_at(const Point& p) const;
+
+  /// Rank of coordinate value among the distinct x (y) coordinates;
+  /// the value must be present.
+  int x_rank(Coord x) const;
+  int y_rank(Coord y) const;
+
+  /// L1 distance between two grid nodes (== shortest grid path length).
+  Length dist(NodeId a, NodeId b) const { return l1(point(a), point(b)); }
+
+  /// Lengths of the nx()-1 horizontal gaps (between consecutive x columns).
+  std::span<const Length> x_gaps() const { return x_gaps_; }
+  /// Lengths of the ny()-1 vertical gaps.
+  std::span<const Length> y_gaps() const { return y_gaps_; }
+
+  /// Lemma 2 (corner-node pruning): returns a bitmask over nodes, true for
+  /// nodes v such that some corner quadrant at v contains no pin — such
+  /// nodes can never be useful Steiner/merge points.  Pins themselves are
+  /// never marked prunable.
+  std::vector<bool> corner_prunable(std::span<const Point> pins) const;
+
+  const std::vector<Coord>& xs() const { return xs_; }
+  const std::vector<Coord>& ys() const { return ys_; }
+
+ private:
+  std::vector<Coord> xs_;  // sorted distinct x coordinates
+  std::vector<Coord> ys_;  // sorted distinct y coordinates
+  std::vector<Length> x_gaps_;
+  std::vector<Length> y_gaps_;
+};
+
+}  // namespace patlabor::geom

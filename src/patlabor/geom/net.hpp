@@ -1,0 +1,28 @@
+// A net: one source pin plus sinks, the unit of work for every router here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "patlabor/geom/point.hpp"
+
+namespace patlabor::geom {
+
+/// A net to be routed. pins[0] is the source r; pins[1..] are sinks.
+///
+/// Degree == pins.size(), following the paper's "degree-n net with one pin
+/// as the source and other n-1 pins as sinks".
+struct Net {
+  std::vector<Point> pins;
+  std::string name;  ///< optional, for experiment reporting
+
+  std::size_t degree() const { return pins.size(); }
+  const Point& source() const { return pins.front(); }
+  std::span<const Point> sinks() const {
+    return std::span<const Point>(pins).subspan(1);
+  }
+};
+
+}  // namespace patlabor::geom

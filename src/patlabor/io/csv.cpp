@@ -1,0 +1,46 @@
+#include "patlabor/io/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace patlabor::io {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("cannot open " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string CsvWriter::num(long long v) { return std::to_string(v); }
+
+}  // namespace patlabor::io

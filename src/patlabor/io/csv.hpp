@@ -1,0 +1,29 @@
+// Minimal CSV writer for experiment artifacts.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace patlabor::io {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; fields containing commas or quotes are quoted.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: stringify doubles with 6 significant digits.
+  static std::string num(double v);
+  static std::string num(long long v);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace patlabor::io

@@ -1,0 +1,59 @@
+#include "patlabor/io/netfile.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace patlabor::io {
+
+void write_nets(const std::string& path, const std::vector<geom::Net>& nets) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  for (const geom::Net& net : nets) {
+    out << "net " << (net.name.empty() ? "-" : net.name) << ' '
+        << net.degree() << '\n';
+    for (const geom::Point& p : net.pins) out << p.x << ' ' << p.y << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<geom::Net> read_nets(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<geom::Net> nets;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream head(line);
+    std::string tag;
+    head >> tag;
+    if (tag != "net")
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": expected 'net'");
+    geom::Net net;
+    std::size_t degree = 0;
+    head >> net.name >> degree;
+    if (!head || degree == 0)
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": malformed net header");
+    if (net.name == "-") net.name.clear();
+    for (std::size_t i = 0; i < degree; ++i) {
+      if (!std::getline(in, line))
+        throw std::runtime_error(path + ": truncated net '" + net.name + "'");
+      ++line_no;
+      std::istringstream coords(line);
+      geom::Point p;
+      coords >> p.x >> p.y;
+      if (!coords)
+        throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                                 ": malformed coordinate");
+      net.pins.push_back(p);
+    }
+    nets.push_back(std::move(net));
+  }
+  return nets;
+}
+
+}  // namespace patlabor::io

@@ -1,0 +1,22 @@
+// A simple text format for nets, so experiments and examples can exchange
+// instances:
+//
+//   net <name> <degree>
+//   <x> <y>          # source first, then sinks
+//   ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "patlabor/geom/net.hpp"
+
+namespace patlabor::io {
+
+/// Writes nets to a file; throws on I/O errors.
+void write_nets(const std::string& path, const std::vector<geom::Net>& nets);
+
+/// Reads nets; throws on malformed input (bad counts, missing coordinates).
+std::vector<geom::Net> read_nets(const std::string& path);
+
+}  // namespace patlabor::io

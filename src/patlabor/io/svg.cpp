@@ -1,0 +1,124 @@
+#include "patlabor/io/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace patlabor::io {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                          "#9467bd", "#ff7f0e", "#8c564b"};
+
+}  // namespace
+
+std::string tree_svg(const tree::RoutingTree& t, int canvas) {
+  using geom::Coord;
+  Coord xlo = std::numeric_limits<Coord>::max(), xhi = 0;
+  Coord ylo = std::numeric_limits<Coord>::max(), yhi = 0;
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    xlo = std::min(xlo, t.node(v).x);
+    xhi = std::max(xhi, t.node(v).x);
+    ylo = std::min(ylo, t.node(v).y);
+    yhi = std::max(yhi, t.node(v).y);
+  }
+  const double margin = 20.0;
+  const double span = static_cast<double>(
+      std::max<Coord>(1, std::max(xhi - xlo, yhi - ylo)));
+  const double scale = (canvas - 2 * margin) / span;
+  auto sx = [&](Coord x) {
+    return margin + static_cast<double>(x - xlo) * scale;
+  };
+  auto sy = [&](Coord y) {  // SVG y grows downward
+    return canvas - margin - static_cast<double>(y - ylo) * scale;
+  };
+
+  std::string svg = "<svg xmlns='http://www.w3.org/2000/svg' width='" +
+                    std::to_string(canvas) + "' height='" +
+                    std::to_string(canvas) + "'>\n";
+  // Edges as L-shapes (x first).
+  for (std::size_t v = 1; v < t.num_nodes(); ++v) {
+    const auto p = static_cast<std::size_t>(t.parent(v));
+    const auto a = t.node(p);
+    const auto b = t.node(v);
+    svg += "<polyline fill='none' stroke='#444' stroke-width='1.5' points='" +
+           fmt(sx(a.x)) + "," + fmt(sy(a.y)) + " " + fmt(sx(b.x)) + "," +
+           fmt(sy(a.y)) + " " + fmt(sx(b.x)) + "," + fmt(sy(b.y)) + "'/>\n";
+  }
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    const auto p = t.node(v);
+    if (t.is_pin(v)) {
+      const char* fill = v == 0 ? "#d62728" : "#1f77b4";
+      svg += "<rect x='" + fmt(sx(p.x) - 4) + "' y='" + fmt(sy(p.y) - 4) +
+             "' width='8' height='8' fill='" + fill + "'/>\n";
+    } else {
+      svg += "<circle cx='" + fmt(sx(p.x)) + "' cy='" + fmt(sy(p.y)) +
+             "' r='3' fill='none' stroke='#444'/>\n";
+    }
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string curves_svg(std::span<const LabeledCurve> curves, int canvas) {
+  double xlo = 1e300, xhi = -1e300, ylo = 1e300, yhi = -1e300;
+  for (const auto& c : curves)
+    for (const auto& p : c.points) {
+      xlo = std::min(xlo, p.w);
+      xhi = std::max(xhi, p.w);
+      ylo = std::min(ylo, p.d);
+      yhi = std::max(yhi, p.d);
+    }
+  if (xlo > xhi) {
+    xlo = ylo = 0;
+    xhi = yhi = 1;
+  }
+  const double margin = 40.0;
+  const double sxs = (canvas - 2 * margin) / std::max(1e-12, xhi - xlo);
+  const double sys = (canvas - 2 * margin) / std::max(1e-12, yhi - ylo);
+  auto sx = [&](double x) { return margin + (x - xlo) * sxs; };
+  auto sy = [&](double y) { return canvas - margin - (y - ylo) * sys; };
+
+  std::string svg = "<svg xmlns='http://www.w3.org/2000/svg' width='" +
+                    std::to_string(canvas) + "' height='" +
+                    std::to_string(canvas) + "'>\n";
+  svg += "<rect x='" + fmt(margin) + "' y='" + fmt(margin) + "' width='" +
+         fmt(canvas - 2 * margin) + "' height='" + fmt(canvas - 2 * margin) +
+         "' fill='none' stroke='#999'/>\n";
+  int color = 0;
+  for (const auto& c : curves) {
+    const char* stroke = kPalette[color % 6];
+    std::string pts;
+    for (const auto& p : c.points)
+      pts += fmt(sx(p.w)) + "," + fmt(sy(p.d)) + " ";
+    svg += "<polyline fill='none' stroke='" + std::string(stroke) +
+           "' stroke-width='1.5' points='" + pts + "'/>\n";
+    for (const auto& p : c.points)
+      svg += "<circle cx='" + fmt(sx(p.w)) + "' cy='" + fmt(sy(p.d)) +
+             "' r='3' fill='" + stroke + "'/>\n";
+    svg += "<text x='" + fmt(margin + 6) + "' y='" +
+           fmt(margin + 16 + 16 * color) + "' fill='" + stroke +
+           "' font-size='12'>" + c.label + "</text>\n";
+    ++color;
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << content;
+}
+
+}  // namespace patlabor::io

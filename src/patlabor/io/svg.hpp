@@ -1,0 +1,27 @@
+// SVG rendering of routing trees and Pareto curves (for the examples and
+// for eyeballing results; Figures 1/2-style pictures).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "patlabor/pareto/curve.hpp"
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::io {
+
+/// Renders a tree: pins as squares (source filled), Steiner points as
+/// circles, edges as L-shapes.  Returns the SVG document.
+std::string tree_svg(const tree::RoutingTree& t, int canvas = 480);
+
+/// Renders one or more labeled Pareto curves as a scatter/staircase plot.
+struct LabeledCurve {
+  std::string label;
+  std::vector<pareto::CurvePoint> points;
+};
+std::string curves_svg(std::span<const LabeledCurve> curves, int canvas = 480);
+
+/// Writes a document to a file.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace patlabor::io

@@ -1,0 +1,57 @@
+#include "patlabor/io/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace patlabor::io {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void AsciiTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const Row& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = width[c] - cell.size();
+      line += ' ';
+      if (c == 0) {  // left align the first column
+        line += cell + std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ') + cell;
+      }
+      line += " |";
+    }
+    return line + "\n";
+  };
+  auto rule = [&]() {
+    std::string line = "+";
+    for (std::size_t w : width) line += std::string(w + 2, '-') + "+";
+    return line + "\n";
+  };
+
+  std::string out = rule() + format_row(header_) + rule();
+  for (const Row& r : rows_) out += r.separator ? rule() : format_row(r.cells);
+  out += rule();
+  return out;
+}
+
+void AsciiTable::print(const std::string& caption) const {
+  if (!caption.empty()) std::printf("%s\n", caption.c_str());
+  std::printf("%s", to_string().c_str());
+}
+
+}  // namespace patlabor::io

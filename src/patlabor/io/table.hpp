@@ -1,0 +1,31 @@
+// Paper-style ASCII tables printed by the experiment harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace patlabor::io {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void add_separator();
+
+  /// Renders with column alignment (first column left, rest right).
+  std::string to_string() const;
+
+  /// Prints to stdout with an optional caption line.
+  void print(const std::string& caption = {}) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace patlabor::io

@@ -1,0 +1,118 @@
+#include "patlabor/lut/lut.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "patlabor/dw/pareto_dw.hpp"
+#include "patlabor/util/timer.hpp"
+
+namespace patlabor::lut {
+
+using geom::Coord;
+using geom::Net;
+using geom::Point;
+using tree::RoutingTree;
+
+LookupTable LookupTable::generate(int max_degree,
+                                  const ParamDwOptions& options) {
+  LookupTable lut;
+  for (int n = 4; n <= max_degree; ++n) lut.generate_degree(n, options);
+  return lut;
+}
+
+void LookupTable::generate_degree(int degree, const ParamDwOptions& options) {
+  assert(degree >= 4 && degree <= kMaxLutDegree);
+  util::Timer timer;
+  DegreeStats st;
+
+  std::vector<std::uint8_t> perm(static_cast<std::size_t>(degree));
+  std::iota(perm.begin(), perm.end(), std::uint8_t{0});
+  do {
+    PinPattern pat;
+    pat.n = degree;
+    std::copy(perm.begin(), perm.end(), pat.perm.begin());
+    pat.source = 0;
+    // One DP run per canonical pattern; skip non-representatives.
+    if (pattern_code(pat) != canonical_pattern_only(pat).code) continue;
+    ++st.patterns;
+
+    const PatternSolutions sols = param_dw(pat, options);
+    st.lp_calls += sols.lp_calls;
+    for (int s = 0; s < degree; ++s) {
+      PinPattern keyed = pat;
+      keyed.source = static_cast<std::uint8_t>(s);
+      const Canonical cj = canonical_joint(keyed);
+      if (table_.count(cj.code) > 0) continue;  // symmetric source duplicate
+      std::vector<RankTopology> stored;
+      stored.reserve(sols.per_source[static_cast<std::size_t>(s)].size());
+      for (const RankTopology& topo :
+           sols.per_source[static_cast<std::size_t>(s)]) {
+        RankTopology t;
+        t.edges.reserve(topo.edges.size());
+        for (const auto& [a, b] : topo.edges)
+          t.edges.emplace_back(transform_point(a, cj.transform, degree),
+                               transform_point(b, cj.transform, degree));
+        t.canonicalize();
+        stored.push_back(std::move(t));
+      }
+      st.topologies += stored.size();
+      // 8 bytes key + 4 bytes count + 1 + 2 bytes per edge per topology.
+      st.bytes += 12;
+      for (const RankTopology& t : stored)
+        st.bytes += 1 + 2 * t.edges.size();
+      ++st.indices;
+      table_.emplace(cj.code, std::move(stored));
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  st.gen_seconds = timer.seconds();
+  stats_[degree] = st;
+  max_degree_ = std::max(max_degree_, degree);
+}
+
+LookupTable::QueryResult LookupTable::query(const Net& net) const {
+  const std::size_t degree = net.degree();
+  QueryResult out;
+
+  // Trivial degrees are answered by the (cheap) numeric Pareto-DW: degree 2
+  // has a single-point frontier, degree 3 a handful of candidates.
+  auto numeric_fallback = [&]() {
+    auto r = dw::pareto_dw(net);
+    out.frontier = std::move(r.frontier);
+    out.trees = std::move(r.trees);
+    return out;
+  };
+  if (degree <= 3) return numeric_fallback();
+
+  std::vector<Coord> xs, ys;
+  const PinPattern pat = pattern_of(net, xs, ys);
+  const Canonical cj = canonical_joint(pat);
+  const auto it = table_.find(cj.code);
+  if (it == table_.end()) return numeric_fallback();
+
+  const int n = pat.n;
+  std::vector<RoutingTree> trees;
+  std::vector<pareto::Objective> objs;
+  trees.reserve(it->second.size());
+  for (const RankTopology& topo : it->second) {
+    std::vector<std::pair<Point, Point>> edges;
+    edges.reserve(topo.edges.size());
+    for (const auto& [a, b] : topo.edges) {
+      const RankPoint ra = inverse_transform_point(a, cj.transform, n);
+      const RankPoint rb = inverse_transform_point(b, cj.transform, n);
+      edges.emplace_back(Point{xs[ra.x], ys[ra.y]}, Point{xs[rb.x], ys[rb.y]});
+    }
+    RoutingTree t = RoutingTree::from_edges(net, edges);
+    if (!t.validate().empty()) continue;  // degenerate collapse; skip
+    objs.push_back(t.objective());
+    trees.push_back(std::move(t));
+  }
+  for (std::size_t k : pareto::pareto_indices(objs)) {
+    out.frontier.push_back(objs[k]);
+    out.trees.push_back(std::move(trees[k]));
+  }
+  return out;
+}
+
+}  // namespace patlabor::lut

@@ -1,0 +1,82 @@
+// The lookup table of Section V-A: all potentially-Pareto-optimal routing
+// tree topologies for every canonical (pattern, source) index of degree
+// <= max_degree, generated once by the parametric Pareto-DW and queried in
+// microseconds per net.
+//
+// The paper sets λ = 9 and spends 4.7 CPU-core-days; generation depth here
+// is configurable (deeper tables cost factorially more, see Table II), and
+// PatLabor transparently falls back to the numeric Pareto-DW — still exact
+// — for degrees the table does not cover.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "patlabor/lut/param_dw.hpp"
+#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::lut {
+
+/// Per-degree generation statistics (the rows of Table II).
+struct DegreeStats {
+  std::uint64_t indices = 0;      ///< #Index: canonical (r, P) pairs stored
+  std::uint64_t patterns = 0;     ///< canonical patterns (DP runs)
+  std::uint64_t topologies = 0;   ///< total stored topologies
+  std::int64_t lp_calls = 0;      ///< exact LP dominance proofs
+  double gen_seconds = 0.0;       ///< wall-clock generation time
+  std::uint64_t bytes = 0;        ///< serialized size of this degree's slice
+
+  double avg_topologies() const {
+    return indices == 0 ? 0.0
+                        : static_cast<double>(topologies) /
+                              static_cast<double>(indices);
+  }
+};
+
+class LookupTable {
+ public:
+  LookupTable() = default;
+
+  /// Generates tables for all degrees 4..max_degree (degree 2 and 3 are
+  /// trivial and answered in closed form by query()).
+  static LookupTable generate(int max_degree,
+                              const ParamDwOptions& options = {});
+
+  /// Generates and merges one additional degree into this table.
+  void generate_degree(int degree, const ParamDwOptions& options = {});
+
+  int max_degree() const { return max_degree_; }
+  bool covers(std::size_t degree) const {
+    return degree <= 3 || (degree <= static_cast<std::size_t>(max_degree_) &&
+                           stats_.count(static_cast<int>(degree)) > 0);
+  }
+
+  struct QueryResult {
+    pareto::ObjVec frontier;               ///< exact, sorted by w
+    std::vector<tree::RoutingTree> trees;  ///< parallel to frontier
+  };
+
+  /// Exact Pareto frontier of a covered net via table lookup.
+  /// Degree 2 and 3 are answered analytically (single frontier point for 2;
+  /// median construction enumeration for 3).
+  QueryResult query(const geom::Net& net) const;
+
+  const std::map<int, DegreeStats>& stats() const { return stats_; }
+
+  /// Binary (de)serialization; format documented in lut_io.cpp.
+  void save(const std::string& path) const;
+  static LookupTable load(const std::string& path);
+
+ private:
+  friend struct LutSerializer;
+
+  std::unordered_map<std::uint64_t, std::vector<RankTopology>> table_;
+  std::map<int, DegreeStats> stats_;
+  int max_degree_ = 3;
+};
+
+}  // namespace patlabor::lut

@@ -1,0 +1,178 @@
+// Binary (de)serialization of lookup tables.
+//
+// Format (little-endian):
+//   magic   "PLUT0001"                      8 bytes
+//   u32     number of degree slices
+//   per slice:
+//     u32   degree
+//     u64   indices, patterns, topologies   (DegreeStats)
+//     i64   lp_calls
+//     f64   gen_seconds
+//     u64   bytes
+//     u64   entry count
+//     per entry:
+//       u64 canonical joint code
+//       u32 topology count
+//       per topology:
+//         u8  edge count
+//         per edge: u8 packed endpoint a ((x<<4)|y), u8 endpoint b
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "patlabor/lut/lut.hpp"
+
+namespace patlabor::lut {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'L', 'U', 'T', '0', '0', '0', '1'};
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : f_(std::fopen(path.c_str(), "wb")) {
+    if (f_ == nullptr) throw std::runtime_error("cannot open " + path);
+  }
+  ~Writer() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  template <typename T>
+  void put(const T& v) {
+    if (std::fwrite(&v, sizeof v, 1, f_) != 1)
+      throw std::runtime_error("short write");
+  }
+  void put_bytes(const void* p, std::size_t len) {
+    if (std::fwrite(p, 1, len, f_) != len)
+      throw std::runtime_error("short write");
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : f_(std::fopen(path.c_str(), "rb")) {
+    if (f_ == nullptr) throw std::runtime_error("cannot open " + path);
+  }
+  ~Reader() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  template <typename T>
+  T get() {
+    T v{};
+    if (std::fread(&v, sizeof v, 1, f_) != 1)
+      throw std::runtime_error("short read (truncated lookup table?)");
+    return v;
+  }
+  void get_bytes(void* p, std::size_t len) {
+    if (std::fread(p, 1, len, f_) != len)
+      throw std::runtime_error("short read (truncated lookup table?)");
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+std::uint8_t pack(RankPoint p) {
+  return static_cast<std::uint8_t>((p.x << 4) | p.y);
+}
+
+RankPoint unpack(std::uint8_t b) {
+  return RankPoint{static_cast<std::uint8_t>(b >> 4),
+                   static_cast<std::uint8_t>(b & 0xF)};
+}
+
+/// Degree of the pattern encoded in a joint code: the leading nibble of the
+/// pattern code holds n (n >= 4, so it is never zero).
+int degree_of_code(std::uint64_t code) {
+  const std::uint64_t c = code >> 4;  // drop the source nibble
+  int nibbles = 0;
+  for (std::uint64_t t = c; t != 0; t >>= 4) ++nibbles;
+  return static_cast<int>(c >> (4 * (nibbles - 1)));
+}
+
+}  // namespace
+
+void LookupTable::save(const std::string& path) const {
+  Writer w(path);
+  w.put_bytes(kMagic, sizeof kMagic);
+  w.put(static_cast<std::uint32_t>(stats_.size()));
+  for (const auto& [degree, st] : stats_) {
+    w.put(static_cast<std::uint32_t>(degree));
+    w.put(st.indices);
+    w.put(st.patterns);
+    w.put(st.topologies);
+    w.put(st.lp_calls);
+    w.put(st.gen_seconds);
+    w.put(st.bytes);
+    // Collect this degree's entries.
+    std::uint64_t count = 0;
+    for (const auto& [code, topos] : table_) {
+      (void)topos;
+      if (degree_of_code(code) == degree) ++count;
+    }
+    w.put(count);
+    for (const auto& [code, topos] : table_) {
+      if (degree_of_code(code) != degree) continue;
+      w.put(code);
+      w.put(static_cast<std::uint32_t>(topos.size()));
+      for (const RankTopology& t : topos) {
+        w.put(static_cast<std::uint8_t>(t.edges.size()));
+        for (const auto& [a, b] : t.edges) {
+          w.put(pack(a));
+          w.put(pack(b));
+        }
+      }
+    }
+  }
+}
+
+LookupTable LookupTable::load(const std::string& path) {
+  Reader r(path);
+  char magic[8];
+  r.get_bytes(magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof magic) != 0)
+    throw std::runtime_error(path + " is not a PatLabor lookup table");
+  LookupTable lut;
+  const auto slices = r.get<std::uint32_t>();
+  for (std::uint32_t s = 0; s < slices; ++s) {
+    const auto degree = static_cast<int>(r.get<std::uint32_t>());
+    DegreeStats st;
+    st.indices = r.get<std::uint64_t>();
+    st.patterns = r.get<std::uint64_t>();
+    st.topologies = r.get<std::uint64_t>();
+    st.lp_calls = r.get<std::int64_t>();
+    st.gen_seconds = r.get<double>();
+    st.bytes = r.get<std::uint64_t>();
+    lut.stats_[degree] = st;
+    lut.max_degree_ = std::max(lut.max_degree_, degree);
+    const auto count = r.get<std::uint64_t>();
+    for (std::uint64_t e = 0; e < count; ++e) {
+      const auto code = r.get<std::uint64_t>();
+      const auto ntopo = r.get<std::uint32_t>();
+      std::vector<RankTopology> topos(ntopo);
+      for (auto& t : topos) {
+        const auto nedges = r.get<std::uint8_t>();
+        t.edges.reserve(nedges);
+        for (int i = 0; i < nedges; ++i) {
+          const auto a = unpack(r.get<std::uint8_t>());
+          const auto b = unpack(r.get<std::uint8_t>());
+          t.edges.emplace_back(a, b);
+        }
+      }
+      lut.table_.emplace(code, std::move(topos));
+    }
+  }
+  return lut;
+}
+
+}  // namespace patlabor::lut

@@ -1,0 +1,475 @@
+#include "patlabor/lut/param_dw.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <set>
+
+#include "patlabor/exactlp/dominance_prover.hpp"
+#include "patlabor/util/rng.hpp"
+
+namespace patlabor::lut {
+
+void RankTopology::canonicalize() {
+  auto key = [](const RankPoint& p) { return (p.x << 4) | p.y; };
+  for (auto& [a, b] : edges)
+    if (key(a) > key(b)) std::swap(a, b);
+  std::sort(edges.begin(), edges.end(), [&](const auto& e1, const auto& e2) {
+    return std::make_pair(key(e1.first), key(e1.second)) <
+           std::make_pair(key(e2.first), key(e2.second));
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+bool operator<(const RankTopology& a, const RankTopology& b) {
+  auto key = [](const RankPoint& p) { return (p.x << 4) | p.y; };
+  return std::lexicographical_compare(
+      a.edges.begin(), a.edges.end(), b.edges.begin(), b.edges.end(),
+      [&](const auto& e1, const auto& e2) {
+        return std::make_pair(key(e1.first), key(e1.second)) <
+               std::make_pair(key(e2.first), key(e2.second));
+      });
+}
+
+namespace {
+
+using exactlp::Count;
+using exactlp::DominanceProver;
+using exactlp::ParamView;
+
+constexpr int kNumSamples = 5;
+
+// A parametric DP solution: strip-usage vector W, per-pin strip-usage
+// matrix D (row-major, n rows of dim; rows outside the mask stay zero),
+// plus precomputed objective values on the numeric screening samples.
+struct Sol {
+  std::vector<Count> w;   // dim
+  std::vector<Count> d;   // n * dim
+  std::array<std::int64_t, kNumSamples> ws{};
+  std::array<std::int64_t, kNumSamples> ds{};
+};
+
+struct BaseEntry {
+  Sol sol;
+  std::uint32_t sub = 0;  // merge partition side; 0 => leaf
+  std::int32_t ia = -1;
+  std::int32_t ib = -1;
+};
+
+struct FinalEntry {
+  Sol sol;
+  std::int32_t from = -1;  // grow origin node; -1 => copy from base
+  std::int32_t idx = -1;
+};
+
+struct State {
+  std::vector<BaseEntry> base;
+  std::vector<FinalEntry> final_;
+};
+
+class ParamSolver {
+ public:
+  ParamSolver(const PinPattern& pat, const ParamDwOptions& opt)
+      : pat_(pat), opt_(opt), n_(pat.n), dim_(2 * pat.n - 2) {}
+
+  PatternSolutions run();
+
+ private:
+  int node(int x, int y) const { return x * n_ + y; }
+  int node_of(RankPoint p) const { return node(p.x, p.y); }
+  RankPoint point_of(int v) const {
+    return RankPoint{static_cast<std::uint8_t>(v / n_),
+                     static_cast<std::uint8_t>(v % n_)};
+  }
+
+  /// Strip-usage vector of a monotone path between two rank points:
+  /// x strips [min,max) at indices 0..n-2, y strips at n-1..2n-3.
+  void path_strips(RankPoint a, RankPoint b, std::vector<Count>& out) const {
+    std::fill(out.begin(), out.end(), 0);
+    for (int i = std::min(a.x, b.x); i < std::max(a.x, b.x); ++i)
+      out[static_cast<std::size_t>(i)] = 1;
+    for (int i = std::min(a.y, b.y); i < std::max(a.y, b.y); ++i)
+      out[static_cast<std::size_t>(n_ - 1 + i)] = 1;
+  }
+
+  std::int64_t sample_dist(int k, RankPoint a, RankPoint b) const {
+    const auto& xp = xpos_[static_cast<std::size_t>(k)];
+    const auto& yp = ypos_[static_cast<std::size_t>(k)];
+    return std::abs(xp[a.x] - xp[b.x]) + std::abs(yp[a.y] - yp[b.y]);
+  }
+
+  Sol leaf_sol(RankPoint v, int pin_rank) const;
+  Sol merge_sol(const Sol& a, const Sol& b) const;
+  Sol grow_sol(const Sol& src, RankPoint u, RankPoint v,
+               std::uint32_t mask) const;
+
+  /// Numeric screen: necessary condition for s1 to dominate s2 for all l.
+  static bool screen(const Sol& s1, const Sol& s2) {
+    for (int k = 0; k < kNumSamples; ++k)
+      if (s1.ws[k] > s2.ws[k] || s1.ds[k] > s2.ds[k]) return false;
+    return true;
+  }
+
+  bool prunable(const Sol& s1, const Sol& s2, std::uint32_t mask);
+
+  /// Antichain reduction (Lemma-1 pruning) preserving survivor order.
+  template <typename T>
+  void reduce(std::vector<T>& cands, std::uint32_t mask);
+
+  void solve_mask(std::uint32_t mask);
+  void reconstruct_base(int v, std::uint32_t mask, std::int32_t idx,
+                        RankTopology& topo) const;
+  void reconstruct_final(int v, std::uint32_t mask, std::int32_t idx,
+                         RankTopology& topo) const;
+
+  State& state(int v, std::uint32_t mask) {
+    return states_[static_cast<std::size_t>(v) * (full_ + 1) + mask];
+  }
+  const State& state(int v, std::uint32_t mask) const {
+    return states_[static_cast<std::size_t>(v) * (full_ + 1) + mask];
+  }
+
+  PinPattern pat_;
+  ParamDwOptions opt_;
+  int n_;
+  int dim_;
+  std::uint32_t full_ = 0;
+  std::vector<int> active_;
+  std::array<std::array<std::int64_t, kMaxLutDegree>, kNumSamples> xpos_{};
+  std::array<std::array<std::int64_t, kMaxLutDegree>, kNumSamples> ypos_{};
+  std::array<int, kMaxLutDegree> boundary_label_{};  // 255 = interior
+  std::vector<State> states_;
+  DominanceProver prover_;
+  std::uint64_t created_ = 0;
+};
+
+Sol ParamSolver::leaf_sol(RankPoint v, int pin_rank) const {
+  Sol s;
+  s.w.assign(static_cast<std::size_t>(dim_), 0);
+  s.d.assign(static_cast<std::size_t>(n_ * dim_), 0);
+  const RankPoint p = pat_.pin(pin_rank);
+  path_strips(v, p, s.w);
+  std::copy(s.w.begin(), s.w.end(),
+            s.d.begin() + static_cast<std::ptrdiff_t>(pin_rank * dim_));
+  for (int k = 0; k < kNumSamples; ++k) {
+    s.ws[static_cast<std::size_t>(k)] = sample_dist(k, v, p);
+    s.ds[static_cast<std::size_t>(k)] = s.ws[static_cast<std::size_t>(k)];
+  }
+  return s;
+}
+
+Sol ParamSolver::merge_sol(const Sol& a, const Sol& b) const {
+  Sol s = a;
+  for (int i = 0; i < dim_; ++i)
+    s.w[static_cast<std::size_t>(i)] += b.w[static_cast<std::size_t>(i)];
+  for (int i = 0; i < n_ * dim_; ++i)
+    s.d[static_cast<std::size_t>(i)] += b.d[static_cast<std::size_t>(i)];
+  for (int k = 0; k < kNumSamples; ++k) {
+    const auto ku = static_cast<std::size_t>(k);
+    s.ws[ku] = a.ws[ku] + b.ws[ku];
+    s.ds[ku] = std::max(a.ds[ku], b.ds[ku]);
+  }
+  return s;
+}
+
+Sol ParamSolver::grow_sol(const Sol& src, RankPoint u, RankPoint v,
+                          std::uint32_t mask) const {
+  Sol s = src;
+  std::vector<Count> delta(static_cast<std::size_t>(dim_));
+  path_strips(u, v, delta);
+  for (int i = 0; i < dim_; ++i)
+    s.w[static_cast<std::size_t>(i)] += delta[static_cast<std::size_t>(i)];
+  for (int p = 0; p < n_; ++p) {
+    if (!(mask & (1u << p))) continue;
+    for (int i = 0; i < dim_; ++i)
+      s.d[static_cast<std::size_t>(p * dim_ + i)] +=
+          delta[static_cast<std::size_t>(i)];
+  }
+  for (int k = 0; k < kNumSamples; ++k) {
+    const auto ku = static_cast<std::size_t>(k);
+    const std::int64_t len = sample_dist(k, u, v);
+    s.ws[ku] += len;
+    s.ds[ku] += len;
+  }
+  return s;
+}
+
+bool ParamSolver::prunable(const Sol& s1, const Sol& s2, std::uint32_t mask) {
+  if (!screen(s1, s2)) return false;
+  // Exact wirelength condition of Eq. (2): W1 <= W2 componentwise.
+  for (int i = 0; i < dim_; ++i)
+    if (s1.w[static_cast<std::size_t>(i)] > s2.w[static_cast<std::size_t>(i)])
+      return false;
+  // Assemble the mask rows into compact matrices.
+  std::vector<Count> d1, d2;
+  int rows = 0;
+  for (int p = 0; p < n_; ++p) {
+    if (!(mask & (1u << p))) continue;
+    d1.insert(d1.end(), s1.d.begin() + static_cast<std::ptrdiff_t>(p * dim_),
+              s1.d.begin() + static_cast<std::ptrdiff_t>((p + 1) * dim_));
+    d2.insert(d2.end(), s2.d.begin() + static_cast<std::ptrdiff_t>(p * dim_),
+              s2.d.begin() + static_cast<std::ptrdiff_t>((p + 1) * dim_));
+    ++rows;
+  }
+  if (!opt_.exact_pruning) {
+    // Sound fast path only (no LP): each row of D1 under some row of D2.
+    for (int r = 0; r < rows; ++r) {
+      bool ok = false;
+      for (int q = 0; q < rows && !ok; ++q) {
+        ok = true;
+        for (int i = 0; i < dim_; ++i)
+          if (d1[static_cast<std::size_t>(r * dim_ + i)] >
+              d2[static_cast<std::size_t>(q * dim_ + i)]) {
+            ok = false;
+            break;
+          }
+      }
+      if (!ok) return false;
+    }
+    return true;
+  }
+  const ParamView v1{s1.w, d1, rows, dim_};
+  const ParamView v2{s2.w, d2, rows, dim_};
+  return prover_.delay_envelope_le(v1, v2);
+}
+
+template <typename T>
+void ParamSolver::reduce(std::vector<T>& cands, std::uint32_t mask) {
+  // Likely dominators first: dominated candidates then die on their first
+  // screen against an early survivor, keeping the quadratic loop close to
+  // linear in practice.
+  std::stable_sort(cands.begin(), cands.end(), [](const T& a, const T& b) {
+    return a.sol.ws[0] + a.sol.ds[0] < b.sol.ws[0] + b.sol.ds[0];
+  });
+  std::vector<T> kept;
+  kept.reserve(cands.size());
+  for (T& c : cands) {
+    bool dominated = false;
+    for (const T& k : kept) {
+      if (prunable(k.sol, c.sol, mask)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    std::erase_if(kept, [&](const T& k) { return prunable(c.sol, k.sol, mask); });
+    kept.push_back(std::move(c));
+  }
+  cands = std::move(kept);
+}
+
+void ParamSolver::solve_mask(std::uint32_t mask) {
+  // Rank-space bounding box of the pins in `mask` (Lemma 3).
+  int xlo = n_, xhi = -1, ylo = n_, yhi = -1;
+  for (int p = 0; p < n_; ++p) {
+    if (!(mask & (1u << p))) continue;
+    const RankPoint q = pat_.pin(p);
+    xlo = std::min<int>(xlo, q.x);
+    xhi = std::max<int>(xhi, q.x);
+    ylo = std::min<int>(ylo, q.y);
+    yhi = std::max<int>(yhi, q.y);
+  }
+
+  // Lemma 4 precheck: all mask pins on the grid boundary?
+  std::vector<std::pair<int, int>> arc_pins;  // (boundary label, pin rank)
+  bool all_boundary = opt_.boundary_arcs && (mask & (mask - 1)) != 0;
+  if (all_boundary) {
+    for (int p = 0; p < n_; ++p) {
+      if (!(mask & (1u << p))) continue;
+      if (boundary_label_[static_cast<std::size_t>(p)] == 255) {
+        all_boundary = false;
+        break;
+      }
+      arc_pins.emplace_back(boundary_label_[static_cast<std::size_t>(p)], p);
+    }
+    if (all_boundary) std::sort(arc_pins.begin(), arc_pins.end());
+  }
+
+  // ---- Merge phase ----
+  for (int v : active_) {
+    const RankPoint pv = point_of(v);
+    if (opt_.bbox_restriction &&
+        (pv.x < xlo || pv.x > xhi || pv.y < ylo || pv.y > yhi))
+      continue;
+    State& st = state(v, mask);
+    if ((mask & (mask - 1)) == 0) {
+      const int p = __builtin_ctz(mask);
+      st.base.push_back(BaseEntry{leaf_sol(pv, p), 0, -1, -1});
+      ++created_;
+      continue;
+    }
+    std::vector<BaseEntry> cands;
+    auto add_partition = [&](std::uint32_t sub) {
+      const std::uint32_t rest = mask ^ sub;
+      const auto& fa = state(v, sub).final_;
+      const auto& fb = state(v, rest).final_;
+      for (std::size_t a = 0; a < fa.size(); ++a)
+        for (std::size_t b = 0; b < fb.size(); ++b)
+          cands.push_back(BaseEntry{merge_sol(fa[a].sol, fb[b].sol), sub,
+                                    static_cast<std::int32_t>(a),
+                                    static_cast<std::int32_t>(b)});
+    };
+    const std::uint32_t low = mask & (~mask + 1);
+    if (all_boundary) {
+      // Lemma 4: only circularly consecutive label runs enter partitions.
+      const std::size_t m = arc_pins.size();
+      for (std::size_t start = 0; start < m; ++start) {
+        for (std::size_t len = 1; len < m; ++len) {
+          std::uint32_t sub = 0;
+          for (std::size_t i = 0; i < len; ++i)
+            sub |= 1u << arc_pins[(start + i) % m].second;
+          if (sub & low) add_partition(sub);  // halve: fix the lowest bit
+        }
+      }
+    } else {
+      for (std::uint32_t sub = (mask - 1) & mask; sub > 0;
+           sub = (sub - 1) & mask) {
+        if (sub & low) add_partition(sub);
+      }
+    }
+    reduce(cands, mask);
+    st.base = std::move(cands);
+    created_ += st.base.size();
+  }
+
+  // ---- Grow phase (one L1-closure round) ----
+  for (int v : active_) {
+    const RankPoint pv = point_of(v);
+    State& st = state(v, mask);
+    std::vector<FinalEntry> cands;
+    for (std::size_t i = 0; i < st.base.size(); ++i)
+      cands.push_back(
+          FinalEntry{st.base[i].sol, -1, static_cast<std::int32_t>(i)});
+    for (int u : active_) {
+      if (u == v) continue;
+      const State& su = state(u, mask);
+      for (std::size_t i = 0; i < su.base.size(); ++i)
+        cands.push_back(
+            FinalEntry{grow_sol(su.base[i].sol, point_of(u), pv, mask), u,
+                       static_cast<std::int32_t>(i)});
+    }
+    reduce(cands, mask);
+    st.final_ = std::move(cands);
+    created_ += st.final_.size();
+  }
+}
+
+void ParamSolver::reconstruct_base(int v, std::uint32_t mask,
+                                   std::int32_t idx,
+                                   RankTopology& topo) const {
+  const BaseEntry& e = state(v, mask).base[static_cast<std::size_t>(idx)];
+  if (e.sub == 0) {
+    const int p = __builtin_ctz(mask);
+    const RankPoint pin = pat_.pin(p);
+    if (!(pin == point_of(v))) topo.edges.emplace_back(point_of(v), pin);
+    return;
+  }
+  reconstruct_final(v, e.sub, e.ia, topo);
+  reconstruct_final(v, mask ^ e.sub, e.ib, topo);
+}
+
+void ParamSolver::reconstruct_final(int v, std::uint32_t mask,
+                                    std::int32_t idx,
+                                    RankTopology& topo) const {
+  const FinalEntry& e = state(v, mask).final_[static_cast<std::size_t>(idx)];
+  if (e.from < 0) {
+    reconstruct_base(v, mask, e.idx, topo);
+    return;
+  }
+  topo.edges.emplace_back(point_of(v), point_of(e.from));
+  reconstruct_base(e.from, mask, e.idx, topo);
+}
+
+PatternSolutions ParamSolver::run() {
+  full_ = (1u << n_) - 1;
+
+  // Deterministic sample strip lengths; sample 0 is the all-ones grid.
+  util::Rng rng(0xC0FFEE);
+  for (int k = 0; k < kNumSamples; ++k) {
+    auto& xp = xpos_[static_cast<std::size_t>(k)];
+    auto& yp = ypos_[static_cast<std::size_t>(k)];
+    xp[0] = 0;
+    yp[0] = 0;
+    for (int i = 1; i < n_; ++i) {
+      xp[static_cast<std::size_t>(i)] =
+          xp[static_cast<std::size_t>(i - 1)] +
+          (k == 0 ? 1 : rng.uniform_int(1, 13));
+      yp[static_cast<std::size_t>(i)] =
+          yp[static_cast<std::size_t>(i - 1)] +
+          (k == 0 ? 1 : rng.uniform_int(1, 13));
+    }
+  }
+
+  // Boundary labels for Lemma 4: clockwise walk of the rank-grid boundary.
+  boundary_label_.fill(255);
+  {
+    std::vector<RankPoint> walk;
+    const int last = n_ - 1;
+    for (int y = 0; y <= last; ++y)
+      walk.push_back(RankPoint{0, static_cast<std::uint8_t>(y)});
+    for (int x = 1; x <= last; ++x)
+      walk.push_back(
+          RankPoint{static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(last)});
+    for (int y = last - 1; y >= 0; --y)
+      walk.push_back(
+          RankPoint{static_cast<std::uint8_t>(last), static_cast<std::uint8_t>(y)});
+    for (int x = last - 1; x >= 1; --x)
+      walk.push_back(RankPoint{static_cast<std::uint8_t>(x), 0});
+    int label = 0;
+    for (const RankPoint& q : walk)
+      for (int p = 0; p < n_; ++p)
+        if (pat_.pin(p) == q)
+          boundary_label_[static_cast<std::size_t>(p)] = label++;
+  }
+
+  // Node universe (Lemma 2 pruning on the rank grid).
+  for (int x = 0; x < n_; ++x) {
+    for (int y = 0; y < n_; ++y) {
+      bool ll = false, lr = false, ul = false, ur = false, is_pin = false;
+      for (int p = 0; p < n_; ++p) {
+        const RankPoint q = pat_.pin(p);
+        if (q.x == x && q.y == y) is_pin = true;
+        if (q.x <= x && q.y <= y) ll = true;
+        if (q.x >= x && q.y <= y) lr = true;
+        if (q.x <= x && q.y >= y) ul = true;
+        if (q.x >= x && q.y >= y) ur = true;
+      }
+      if (is_pin || !opt_.corner_pruning || (ll && lr && ul && ur))
+        active_.push_back(node(x, y));
+    }
+  }
+
+  states_.assign(static_cast<std::size_t>(n_ * n_) * (full_ + 1), State{});
+  for (std::uint32_t mask = 1; mask <= full_; ++mask) solve_mask(mask);
+
+  PatternSolutions out;
+  out.n = n_;
+  for (int s = 0; s < n_; ++s) {
+    const std::uint32_t sinks = full_ ^ (1u << s);
+    const int v = node_of(pat_.pin(s));
+    const State& st = state(v, sinks);
+    std::set<RankTopology> dedup;
+    for (std::size_t i = 0; i < st.final_.size(); ++i) {
+      RankTopology topo;
+      reconstruct_final(v, sinks, static_cast<std::int32_t>(i), topo);
+      topo.canonicalize();
+      dedup.insert(std::move(topo));
+    }
+    out.per_source[static_cast<std::size_t>(s)].assign(dedup.begin(),
+                                                       dedup.end());
+  }
+  out.dp_solutions = created_;
+  out.lp_calls = prover_.lp_calls();
+  return out;
+}
+
+}  // namespace
+
+PatternSolutions param_dw(const PinPattern& pattern,
+                          const ParamDwOptions& options) {
+  assert(pattern.n >= 2 && pattern.n <= kMaxLutDegree);
+  ParamSolver solver(pattern, options);
+  return solver.run();
+}
+
+}  // namespace patlabor::lut

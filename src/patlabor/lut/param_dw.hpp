@@ -1,0 +1,60 @@
+// Parametric Pareto-DW: the lookup-table generator of Section V-A.
+//
+// Runs the Pareto-DW dynamic program on a *pattern* (rank-space Hanan grid)
+// where strip lengths l_1..l_{2n-2} are symbolic.  A solution is the pair
+// (W, D) of Table I / Eq. after Lemma 1:
+//     w = sum_i W[i] * l[i]           (W = per-strip crossing counts)
+//     d = max_p sum_i D[p][i] * l[i]  (row per pin: crossings on its path)
+// Solutions are pruned by the exact Lemma-1 decision procedure
+// (exactlp::DominanceProver) after a cheap numeric screen on sample strip
+// lengths.  One DP run per pattern serves all n source choices.
+//
+// Pruning lemmas implemented: Lemma 2 (corner nodes), Lemma 3 (bounding-box
+// restriction of merge states), Lemma 4 (boundary pins: only circularly
+// consecutive partitions) — each individually switchable for ablation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "patlabor/lut/pattern.hpp"
+
+namespace patlabor::lut {
+
+/// A candidate tree topology in rank space (undirected edges between
+/// rank-grid nodes).  Canonicalized: each edge's endpoints and the edge
+/// list itself are sorted.
+struct RankTopology {
+  std::vector<std::pair<RankPoint, RankPoint>> edges;
+
+  void canonicalize();
+  friend bool operator==(const RankTopology&, const RankTopology&) = default;
+  friend bool operator<(const RankTopology& a, const RankTopology& b);
+};
+
+struct ParamDwOptions {
+  bool corner_pruning = true;    ///< Lemma 2
+  bool bbox_restriction = true;  ///< Lemma 3
+  bool boundary_arcs = true;     ///< Lemma 4
+  bool exact_pruning = true;     ///< Lemma 1 via the exact LP prover
+};
+
+/// All potentially-Pareto-optimal topologies of one pattern, per source.
+struct PatternSolutions {
+  int n = 0;
+  /// per_source[s] = deduplicated candidate topologies when the pin with
+  /// x rank s is the source.
+  std::array<std::vector<RankTopology>, kMaxLutDegree> per_source;
+  /// Diagnostics for Table II / ablations.
+  std::uint64_t dp_solutions = 0;
+  std::int64_t lp_calls = 0;
+};
+
+/// Runs the parametric DP on a pattern (the source field is ignored; all
+/// sources are answered from the same run).
+PatternSolutions param_dw(const PinPattern& pattern,
+                          const ParamDwOptions& options = {});
+
+}  // namespace patlabor::lut

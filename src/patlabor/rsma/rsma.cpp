@@ -1,0 +1,101 @@
+#include "patlabor/rsma/rsma.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace patlabor::rsma {
+
+using geom::Length;
+using geom::Net;
+using geom::Point;
+using tree::RoutingTree;
+
+namespace {
+
+// Merge heuristic on one quadrant, in coordinates where the source is the
+// origin and all points are componentwise >= 0.  Emits monotone edges.
+void solve_quadrant(const Point& source, std::vector<Point> pts,
+                    std::vector<std::pair<Point, Point>>& edges) {
+  if (pts.empty()) return;
+  // Active roots of partial arborescences.
+  std::vector<Point> active = std::move(pts);
+  while (active.size() > 1) {
+    // Pick the pair whose meet point is farthest from the source
+    // (maximizes shared trunk, the RSA merge rule).
+    std::size_t bi = 0, bj = 1;
+    Length best = -1;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        const Length key = std::min(active[i].x, active[j].x) +
+                           std::min(active[i].y, active[j].y);
+        if (key > best) {
+          best = key;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    const Point m{std::min(active[bi].x, active[bj].x),
+                  std::min(active[bi].y, active[bj].y)};
+    if (m != active[bi]) edges.emplace_back(m, active[bi]);
+    if (m != active[bj]) edges.emplace_back(m, active[bj]);
+    // Remove bj first (larger index), then bi, then insert the meet.
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bi));
+    active.push_back(m);
+  }
+  if (active.front() != Point{0, 0})
+    edges.emplace_back(Point{0, 0}, active.front());
+  // Shift back to absolute coordinates happens in the caller via lambda;
+  // here the caller passes already-shifted points, so nothing to do.
+  (void)source;
+}
+
+}  // namespace
+
+RoutingTree rsma(const Net& net) {
+  const Point r = net.source();
+  // Quadrant buckets in source-relative "first quadrant" coordinates,
+  // remembering the sign flips to map back.
+  struct Quadrant {
+    geom::Coord sx, sy;  // sign of x / y
+    std::vector<Point> pts;
+  };
+  std::vector<Quadrant> quads = {
+      {+1, +1, {}}, {-1, +1, {}}, {+1, -1, {}}, {-1, -1, {}}};
+  for (const Point& p : net.sinks()) {
+    const geom::Coord dx = p.x - r.x;
+    const geom::Coord dy = p.y - r.y;
+    // Axis points go to the quadrant with positive sign (deterministic).
+    const std::size_t qi =
+        (dx >= 0 ? 0u : 1u) + (dy >= 0 ? 0u : 2u);
+    quads[qi].pts.push_back(
+        Point{dx >= 0 ? dx : -dx, dy >= 0 ? dy : -dy});
+  }
+
+  std::vector<std::pair<Point, Point>> edges;
+  for (const Quadrant& q : quads) {
+    if (q.pts.empty()) continue;
+    std::vector<std::pair<Point, Point>> local;
+    solve_quadrant(r, q.pts, local);
+    for (auto& [a, b] : local) {
+      const Point pa{r.x + q.sx * a.x, r.y + q.sy * a.y};
+      const Point pb{r.x + q.sx * b.x, r.y + q.sy * b.y};
+      edges.emplace_back(pa, pb);
+    }
+  }
+
+  RoutingTree t = RoutingTree::from_edges(net, edges);
+  t.normalize();
+  return t;
+}
+
+Length star_delay(const Net& net) {
+  Length d = 0;
+  for (const Point& p : net.sinks())
+    d = std::max(d, geom::l1(net.source(), p));
+  return d;
+}
+
+}  // namespace patlabor::rsma

@@ -1,0 +1,26 @@
+// Rectilinear Steiner minimum arborescence (RSMA) heuristic.
+//
+// Plays the role of Cordova-Lee [11] in the paper: an RSMA connects every
+// sink to the source by a shortest (monotone) rectilinear path, so its delay
+// equals the trivial lower bound max_i ||r - p_i||_1; the heuristic then
+// minimizes wirelength subject to that.  Fig. 7 normalizes delay by d(CL).
+//
+// Implementation: the classic merge heuristic for the rectilinear Steiner
+// arborescence (process per quadrant; repeatedly merge the pair of active
+// roots whose meet point is farthest from the source), which carries the
+// same 2-approximation guarantee family as Cordova-Lee.
+#pragma once
+
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::rsma {
+
+/// Builds a shortest-path (arborescence) routing tree for the net.
+/// Post-condition: every sink's tree path length equals its L1 distance
+/// from the source, hence delay(T) == star_delay(net).
+tree::RoutingTree rsma(const geom::Net& net);
+
+/// The delay lower bound max_i ||r - p_i||_1 (== d of any arborescence).
+geom::Length star_delay(const geom::Net& net);
+
+}  // namespace patlabor::rsma

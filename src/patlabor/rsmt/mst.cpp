@@ -1,0 +1,50 @@
+#include "patlabor/rsmt/mst.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace patlabor::rsmt {
+
+using geom::Length;
+using geom::Net;
+using tree::RoutingTree;
+
+RoutingTree rectilinear_mst(const Net& net) {
+  const std::size_t n = net.pins.size();
+  RoutingTree t = RoutingTree::star(net);
+  if (n <= 2) return t;
+
+  // Prim from the source; parent pointers fall out rooted correctly.
+  std::vector<bool> in_tree(n, false);
+  std::vector<Length> key(n, std::numeric_limits<Length>::max());
+  std::vector<std::int32_t> best_parent(n, 0);
+  in_tree[0] = true;
+  for (std::size_t v = 1; v < n; ++v)
+    key[v] = geom::l1(net.pins[v], net.pins[0]);
+
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = 0;
+    Length best = std::numeric_limits<Length>::max();
+    for (std::size_t v = 1; v < n; ++v) {
+      if (!in_tree[v] && key[v] < best) {
+        best = key[v];
+        pick = v;
+      }
+    }
+    in_tree[pick] = true;
+    t.set_parent(pick, best_parent[pick]);
+    for (std::size_t v = 1; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const Length d = geom::l1(net.pins[v], net.pins[pick]);
+      if (d < key[v]) {
+        key[v] = d;
+        best_parent[v] = static_cast<std::int32_t>(pick);
+      }
+    }
+  }
+  return t;
+}
+
+Length mst_length(const Net& net) { return rectilinear_mst(net).wirelength(); }
+
+}  // namespace patlabor::rsmt

@@ -1,0 +1,18 @@
+// Rectilinear minimum spanning trees over pins (no Steiner points).
+//
+// The MST is the seed for the RSMT heuristic, SALT's shallow-light core,
+// and the Prim-Dijkstra baseline at alpha = 0.
+#pragma once
+
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::rsmt {
+
+/// Prim's algorithm under the L1 metric, O(n^2); the tree is rooted at the
+/// net source (pin 0).
+tree::RoutingTree rectilinear_mst(const geom::Net& net);
+
+/// Sum of MST edge lengths (convenience for lower-bound style checks).
+geom::Length mst_length(const geom::Net& net);
+
+}  // namespace patlabor::rsmt

@@ -1,0 +1,142 @@
+#include "patlabor/rsmt/rsmt.hpp"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "patlabor/geom/hanan.hpp"
+#include "patlabor/rsmt/mst.hpp"
+#include "patlabor/tree/refine.hpp"
+
+namespace patlabor::rsmt {
+
+using geom::HananGrid;
+using geom::Length;
+using geom::Net;
+using geom::NodeId;
+using geom::Point;
+using tree::RoutingTree;
+
+namespace {
+
+constexpr Length kInf = std::numeric_limits<Length>::max() / 4;
+
+// Backtracking record for one DP state (v, mask).
+struct Choice {
+  enum class Kind : std::uint8_t { kLeaf, kMerge, kGrow } kind = Kind::kLeaf;
+  std::uint32_t sub = 0;  // merge: one side of the partition
+  NodeId from = -1;       // grow: predecessor node
+};
+
+}  // namespace
+
+RoutingTree exact_rsmt(const Net& net) {
+  const std::size_t n = net.degree();
+  assert(n >= 2 && n <= kExactMaxDegree);
+  const HananGrid grid(net.pins);
+  const int nv = grid.num_nodes();
+  const std::size_t nsinks = n - 1;
+  const std::uint32_t full = (1u << nsinks) - 1;
+
+  // dp[v][mask]: cheapest forest-free cost of a tree rooted anywhere that
+  // connects node v with the sink set `mask`.
+  std::vector<std::vector<Length>> dp(
+      static_cast<std::size_t>(nv), std::vector<Length>(full + 1, kInf));
+  std::vector<std::vector<Choice>> how(
+      static_cast<std::size_t>(nv), std::vector<Choice>(full + 1));
+
+  std::vector<NodeId> sink_node(nsinks);
+  for (std::size_t i = 0; i < nsinks; ++i)
+    sink_node[i] = grid.node_at(net.pins[i + 1]);
+
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    // Merge step (or base case for singletons).
+    for (int v = 0; v < nv; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      if ((mask & (mask - 1)) == 0) {
+        const std::size_t i = static_cast<std::size_t>(__builtin_ctz(mask));
+        dp[uv][mask] = grid.dist(static_cast<NodeId>(v), sink_node[i]);
+        how[uv][mask] = Choice{Choice::Kind::kLeaf, 0, sink_node[i]};
+        continue;
+      }
+      // Enumerate proper sub-partitions; fix the lowest bit in `sub` to
+      // halve the enumeration.
+      const std::uint32_t low = mask & (~mask + 1);
+      for (std::uint32_t sub = (mask - 1) & mask; sub > 0;
+           sub = (sub - 1) & mask) {
+        if (!(sub & low)) continue;
+        const std::uint32_t rest = mask ^ sub;
+        if (rest == 0) continue;
+        const Length cost = dp[uv][sub] == kInf || dp[uv][rest] == kInf
+                                ? kInf
+                                : dp[uv][sub] + dp[uv][rest];
+        if (cost < dp[uv][mask]) {
+          dp[uv][mask] = cost;
+          how[uv][mask] = Choice{Choice::Kind::kMerge, sub, -1};
+        }
+      }
+    }
+    // Grow step: one L1-closure round (the grid metric satisfies the
+    // triangle inequality, so a single round reaches the closure).
+    std::vector<Length> merged(static_cast<std::size_t>(nv));
+    for (int v = 0; v < nv; ++v)
+      merged[static_cast<std::size_t>(v)] =
+          dp[static_cast<std::size_t>(v)][mask];
+    for (int v = 0; v < nv; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      for (int u = 0; u < nv; ++u) {
+        if (u == v || merged[static_cast<std::size_t>(u)] == kInf) continue;
+        const Length cost = merged[static_cast<std::size_t>(u)] +
+                            grid.dist(static_cast<NodeId>(u),
+                                      static_cast<NodeId>(v));
+        if (cost < dp[uv][mask]) {
+          dp[uv][mask] = cost;
+          how[uv][mask] =
+              Choice{Choice::Kind::kGrow, 0, static_cast<NodeId>(u)};
+        }
+      }
+    }
+  }
+
+  // Reconstruct the edge list.
+  std::vector<std::pair<Point, Point>> edges;
+  const NodeId root = grid.node_at(net.pins[0]);
+  std::vector<std::pair<NodeId, std::uint32_t>> stack{{root, full}};
+  while (!stack.empty()) {
+    const auto [v, mask] = stack.back();
+    stack.pop_back();
+    const Choice c = how[static_cast<std::size_t>(v)][mask];
+    switch (c.kind) {
+      case Choice::Kind::kLeaf:
+        if (c.from != v) edges.emplace_back(grid.point(v), grid.point(c.from));
+        break;
+      case Choice::Kind::kMerge:
+        stack.emplace_back(v, c.sub);
+        stack.emplace_back(v, mask ^ c.sub);
+        break;
+      case Choice::Kind::kGrow:
+        edges.emplace_back(grid.point(v), grid.point(c.from));
+        stack.emplace_back(c.from, mask);
+        break;
+    }
+  }
+
+  RoutingTree t = RoutingTree::from_edges(net, edges);
+  t.normalize();
+  return t;
+}
+
+RoutingTree rsmt_heuristic(const Net& net) {
+  RoutingTree t = rectilinear_mst(net);
+  tree::refine(t, tree::RefineMode::kWirelength);
+  return t;
+}
+
+RoutingTree rsmt(const Net& net) {
+  if (net.degree() <= kExactMaxDegree && net.degree() >= 2)
+    return exact_rsmt(net);
+  return rsmt_heuristic(net);
+}
+
+}  // namespace patlabor::rsmt

@@ -1,0 +1,89 @@
+#include "patlabor/timing/elmore.hpp"
+
+#include <cmath>
+
+namespace patlabor::timing {
+
+using tree::RoutingTree;
+
+std::vector<double> elmore_delays(const RoutingTree& t,
+                                  const RcParams& params) {
+  const std::size_t n = t.num_nodes();
+  const auto ch = t.children();
+
+  // Topological order (parents before children).
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<std::size_t> stack{0};
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    for (std::int32_t c : ch[u]) stack.push_back(static_cast<std::size_t>(c));
+  }
+
+  // Downstream capacitance per node: own pin load + subtree wire + loads.
+  std::vector<double> cap(n, 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t u = *it;
+    if (u >= 1 && t.is_pin(u)) cap[u] += params.sink_cap;
+    for (std::int32_t ci : ch[u]) {
+      const auto c = static_cast<std::size_t>(ci);
+      const double wire =
+          static_cast<double>(geom::l1(t.node(c),
+                                       t.node(static_cast<std::size_t>(
+                                           t.parent(c))))) *
+          params.unit_cap;
+      cap[u] += cap[c] + wire;
+    }
+  }
+
+  // Delay accumulation root-down: the driver charges the whole load, each
+  // edge charges half its own capacitance plus everything below it.
+  std::vector<double> delay(n, 0.0);
+  delay[0] = params.driver_res * (cap[0]);
+  for (std::size_t u : order) {
+    for (std::int32_t ci : ch[u]) {
+      const auto c = static_cast<std::size_t>(ci);
+      const double len = static_cast<double>(geom::l1(t.node(c), t.node(u)));
+      const double r = len * params.unit_res;
+      const double half_wire_cap = 0.5 * len * params.unit_cap;
+      delay[c] = delay[u] + r * (half_wire_cap + cap[c]);
+    }
+  }
+  return delay;
+}
+
+double max_elmore(const RoutingTree& t, const RcParams& params) {
+  const auto d = elmore_delays(t, params);
+  double best = 0.0;
+  for (std::size_t v = 1; v < t.num_pins(); ++v) best = std::max(best, d[v]);
+  return best;
+}
+
+double total_load(const RoutingTree& t, const RcParams& params) {
+  double cap = static_cast<double>(t.wirelength()) * params.unit_cap;
+  cap += static_cast<double>(t.num_pins() - 1) * params.sink_cap;
+  return cap;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const auto n = static_cast<double>(a.size());
+  double sa = 0, sb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sa += a[i];
+    sb += b[i];
+  }
+  const double ma = sa / n, mb = sb / n;
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0 || vb <= 0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace patlabor::timing

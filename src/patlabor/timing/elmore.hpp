@@ -1,0 +1,49 @@
+// Elmore (RC) delay evaluation of routing trees.
+//
+// The paper (and its baselines) optimize *path length* as the delay proxy;
+// its conclusion lists richer timing metrics as future work.  This module
+// provides the standard first-order RC model used across EDA:
+//
+//   * every unit of wirelength contributes unit resistance r and unit
+//     capacitance c (the capacitance split half-half across each segment),
+//   * each sink adds a pin load, the driver adds a source resistance,
+//   * Elmore delay of sink s = sum over tree edges e on the root->s path
+//     of R(e) * (downstream capacitance seen from e, incl. half of e's own)
+//     plus R_driver * C_total.
+//
+// bench_elmore uses this to check that Pareto-optimal trees under the
+// paper's (w, d) objectives remain near-optimal under (w, Elmore) — the
+// empirical justification for the path-length proxy.
+#pragma once
+
+#include <vector>
+
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::timing {
+
+/// Technology/driver parameters.  Units are arbitrary but consistent
+/// (delay values come out in r*c length-squared units).
+struct RcParams {
+  double unit_res = 1.0;     ///< resistance per DBU of wire
+  double unit_cap = 1.0;     ///< capacitance per DBU of wire
+  double driver_res = 50.0;  ///< source driver resistance
+  double sink_cap = 100.0;   ///< pin load per sink
+};
+
+/// Elmore delay of every node (index-aligned with the tree's nodes);
+/// entries for Steiner nodes are the delays at those junctions.
+std::vector<double> elmore_delays(const tree::RoutingTree& t,
+                                  const RcParams& params = {});
+
+/// Maximum Elmore delay over the sinks.
+double max_elmore(const tree::RoutingTree& t, const RcParams& params = {});
+
+/// Total capacitance the driver sees (wire + sink loads).
+double total_load(const tree::RoutingTree& t, const RcParams& params = {});
+
+/// Pearson correlation between two samples (used to report how well the
+/// path-length proxy tracks Elmore delay across a tree population).
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace patlabor::timing

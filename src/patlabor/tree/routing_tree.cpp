@@ -1,0 +1,279 @@
+#include "patlabor/tree/routing_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+namespace patlabor::tree {
+
+RoutingTree RoutingTree::star(const Net& net) {
+  RoutingTree t;
+  t.nodes_ = net.pins;
+  t.num_pins_ = net.pins.size();
+  t.parent_.assign(t.nodes_.size(), 0);
+  t.parent_[0] = kNoParent;
+  return t;
+}
+
+RoutingTree RoutingTree::from_edges(
+    const Net& net, std::span<const std::pair<Point, Point>> edges) {
+  RoutingTree t;
+  t.nodes_ = net.pins;
+  t.num_pins_ = net.pins.size();
+
+  // Map distinct points to node ids; pins get their fixed ids first.
+  std::map<Point, std::int32_t> id;
+  for (std::size_t i = 0; i < t.nodes_.size(); ++i) {
+    // Duplicate pins map to the first occurrence; extra duplicates become
+    // isolated nodes attached below.
+    id.emplace(t.nodes_[i], static_cast<std::int32_t>(i));
+  }
+  auto intern = [&](const Point& p) -> std::int32_t {
+    auto [it, inserted] = id.emplace(
+        p, static_cast<std::int32_t>(t.nodes_.size()));
+    if (inserted) t.nodes_.push_back(p);
+    return it->second;
+  };
+
+  std::vector<std::vector<std::int32_t>> adj(t.nodes_.size());
+  auto add_adj = [&](std::int32_t a, std::int32_t b) {
+    const std::size_t need =
+        static_cast<std::size_t>(std::max(a, b)) + 1;
+    if (adj.size() < need) adj.resize(need);
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  };
+  for (const auto& [pa, pb] : edges) add_adj(intern(pa), intern(pb));
+  adj.resize(t.nodes_.size());
+
+  // Orient as a shortest-path tree from the source (O(V^2) Dijkstra).
+  // For an acyclic edge set this is the unique orientation; when duplicate
+  // or overlapping edges produced cycles in the union, the SPT orientation
+  // guarantees path lengths (hence delay) never exceed those of any
+  // intended derivation of the same edge set.
+  t.parent_.assign(t.nodes_.size(), kNoParent);
+  const std::size_t nn = t.nodes_.size();
+  constexpr Length kUnreached = std::numeric_limits<Length>::max() / 4;
+  std::vector<Length> dist(nn, kUnreached);
+  std::vector<bool> seen(nn, false);
+  dist[0] = 0;
+  for (std::size_t round = 0; round < nn; ++round) {
+    std::size_t u = nn;
+    Length best = kUnreached;
+    for (std::size_t v = 0; v < nn; ++v)
+      if (!seen[v] && dist[v] < best) {
+        best = dist[v];
+        u = v;
+      }
+    if (u == nn) break;
+    seen[u] = true;
+    for (std::int32_t vi : adj[u]) {
+      const auto v = static_cast<std::size_t>(vi);
+      const Length nd = dist[u] + geom::l1(t.nodes_[u], t.nodes_[v]);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        t.parent_[v] = static_cast<std::int32_t>(u);
+      }
+    }
+  }
+  // Unreached duplicates of pins (same coordinates) hang off their twin.
+  for (std::size_t v = 1; v < t.num_pins_; ++v) {
+    if (!seen[v]) {
+      const auto it = id.find(t.nodes_[v]);
+      if (it != id.end() && static_cast<std::size_t>(it->second) != v &&
+          seen[static_cast<std::size_t>(it->second)]) {
+        t.parent_[v] = it->second;
+        seen[v] = true;
+      }
+    }
+  }
+  return t;
+}
+
+std::size_t RoutingTree::add_steiner(const Point& p, std::int32_t parent) {
+  nodes_.push_back(p);
+  parent_.push_back(parent);
+  return nodes_.size() - 1;
+}
+
+void RoutingTree::move_node(std::size_t v, const Point& p) {
+  assert(!is_pin(v));
+  nodes_[v] = p;
+}
+
+Length RoutingTree::wirelength() const {
+  Length w = 0;
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    if (parent_[v] != kNoParent)
+      w += geom::l1(nodes_[v], nodes_[static_cast<std::size_t>(parent_[v])]);
+  return w;
+}
+
+std::vector<Length> RoutingTree::path_lengths() const {
+  std::vector<Length> pl(nodes_.size(), -1);
+  pl[0] = 0;
+  // Iterative resolution that tolerates arbitrary node order.
+  std::vector<std::size_t> stack;
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (pl[v] >= 0) continue;
+    std::size_t u = v;
+    while (pl[u] < 0 && parent_[u] != kNoParent) {
+      stack.push_back(u);
+      u = static_cast<std::size_t>(parent_[u]);
+    }
+    Length base = pl[u] >= 0 ? pl[u] : 0;
+    while (!stack.empty()) {
+      const std::size_t c = stack.back();
+      stack.pop_back();
+      base += geom::l1(nodes_[c], nodes_[static_cast<std::size_t>(parent_[c])]);
+      pl[c] = base;
+    }
+  }
+  return pl;
+}
+
+Length RoutingTree::delay() const {
+  const auto pl = path_lengths();
+  Length d = 0;
+  for (std::size_t v = 1; v < num_pins_; ++v) d = std::max(d, pl[v]);
+  return d;
+}
+
+pareto::Objective RoutingTree::objective() const {
+  return pareto::Objective{wirelength(), delay()};
+}
+
+std::vector<std::vector<std::int32_t>> RoutingTree::children() const {
+  std::vector<std::vector<std::int32_t>> ch(nodes_.size());
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    if (parent_[v] != kNoParent)
+      ch[static_cast<std::size_t>(parent_[v])].push_back(
+          static_cast<std::int32_t>(v));
+  return ch;
+}
+
+bool RoutingTree::in_subtree(std::size_t v, std::size_t u) const {
+  std::size_t cur = v;
+  while (true) {
+    if (cur == u) return true;
+    if (parent_[cur] == kNoParent) return false;
+    cur = static_cast<std::size_t>(parent_[cur]);
+  }
+}
+
+std::string RoutingTree::validate() const {
+  if (nodes_.size() != parent_.size()) return "nodes/parent size mismatch";
+  if (num_pins_ == 0 || num_pins_ > nodes_.size()) return "bad pin count";
+  if (parent_[0] != kNoParent) return "root has a parent";
+  for (std::size_t v = 1; v < nodes_.size(); ++v) {
+    if (parent_[v] == kNoParent) return "non-root node " + std::to_string(v) +
+                                        " has no parent (disconnected)";
+    if (parent_[v] < 0 ||
+        static_cast<std::size_t>(parent_[v]) >= nodes_.size())
+      return "parent index out of range at node " + std::to_string(v);
+  }
+  // Cycle check: every node must reach the root within |V| steps.
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    std::size_t cur = v;
+    std::size_t steps = 0;
+    while (parent_[cur] != kNoParent) {
+      cur = static_cast<std::size_t>(parent_[cur]);
+      if (++steps > nodes_.size()) return "cycle through node " +
+                                          std::to_string(v);
+    }
+  }
+  return {};
+}
+
+void RoutingTree::normalize() {
+  // 1. Iteratively drop Steiner leaves.
+  while (true) {
+    std::vector<int> deg(nodes_.size(), 0);
+    for (std::size_t v = 0; v < nodes_.size(); ++v)
+      if (parent_[v] != kNoParent) ++deg[static_cast<std::size_t>(parent_[v])];
+    bool changed = false;
+    // Collect in one sweep; removal = mark dead, compact at the end.
+    std::vector<bool> dead(nodes_.size(), false);
+    for (std::size_t v = num_pins_; v < nodes_.size(); ++v) {
+      if (deg[v] == 0) {
+        dead[v] = true;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    compact(dead);
+    // deg recomputed next iteration.
+  }
+  // 2. Splice out degree-2 Steiner pass-throughs lying on a monotone path
+  //    between parent and child (objective-neutral); off-path elbows are
+  //    kept, they carry geometry.
+  while (true) {
+    auto ch = children();
+    bool changed = false;
+    for (std::size_t v = num_pins_; v < nodes_.size(); ++v) {
+      if (ch[v].size() != 1 || parent_[v] == kNoParent) continue;
+      const std::size_t p = static_cast<std::size_t>(parent_[v]);
+      const std::size_t c = static_cast<std::size_t>(ch[v][0]);
+      if (geom::l1(nodes_[p], nodes_[v]) + geom::l1(nodes_[v], nodes_[c]) ==
+          geom::l1(nodes_[p], nodes_[c])) {
+        parent_[c] = static_cast<std::int32_t>(p);
+        std::vector<bool> dead(nodes_.size(), false);
+        dead[v] = true;
+        compact(dead);
+        changed = true;
+        break;  // indices shifted; restart the scan
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+void RoutingTree::compact(const std::vector<bool>& dead) {
+  std::vector<std::int32_t> remap(nodes_.size(), -1);
+  std::size_t next = 0;
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (v < num_pins_ || !dead[v]) remap[v] = static_cast<std::int32_t>(next++);
+  }
+  std::vector<Point> nn(next);
+  std::vector<std::int32_t> np(next, kNoParent);
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (remap[v] < 0) continue;
+    nn[static_cast<std::size_t>(remap[v])] = nodes_[v];
+    if (parent_[v] != kNoParent) {
+      const std::int32_t rp = remap[static_cast<std::size_t>(parent_[v])];
+      assert(rp >= 0 && "parent of a live node was removed");
+      np[static_cast<std::size_t>(remap[v])] = rp;
+    }
+  }
+  nodes_ = std::move(nn);
+  parent_ = std::move(np);
+}
+
+std::uint64_t RoutingTree::structural_hash() const {
+  // Hash the multiset of undirected edges by coordinates.
+  std::uint64_t h = 0x243F6A8885A308D3ULL ^ nodes_.size();
+  std::vector<std::uint64_t> edge_hashes;
+  edge_hashes.reserve(nodes_.size());
+  geom::PointHash ph;
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (parent_[v] == kNoParent) continue;
+    const Point& a = nodes_[v];
+    const Point& b = nodes_[static_cast<std::size_t>(parent_[v])];
+    const std::uint64_t ha = ph(a < b ? a : b);
+    const std::uint64_t hb = ph(a < b ? b : a);
+    edge_hashes.push_back(ha * 0x100000001B3ULL ^ hb);
+  }
+  std::sort(edge_hashes.begin(), edge_hashes.end());
+  for (std::uint64_t e : edge_hashes) h = (h ^ e) * 0x100000001B3ULL;
+  return h;
+}
+
+std::vector<pareto::Objective> objectives(std::span<const RoutingTree> trees) {
+  std::vector<pareto::Objective> out;
+  out.reserve(trees.size());
+  for (const RoutingTree& t : trees) out.push_back(t.objective());
+  return out;
+}
+
+}  // namespace patlabor::tree

@@ -1,0 +1,76 @@
+#include "patlabor/util/rng.hpp"
+
+#include <cmath>
+
+namespace patlabor::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: used to expand a single seed into the xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t r = next();
+  while (r >= limit) r = next();
+  return lo + static_cast<std::int64_t>(r % range);
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::normal() noexcept {
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Rng Rng::split() noexcept { return Rng(next() ^ 0xA02BDBF7BB3C0A7ULL); }
+
+}  // namespace patlabor::util

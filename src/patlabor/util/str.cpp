@@ -1,0 +1,62 @@
+#include "patlabor/util/str.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace patlabor::util {
+
+std::string with_commas(std::int64_t n) {
+  const bool neg = n < 0;
+  std::string digits = std::to_string(neg ? -n : n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string fixed(double x, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, x);
+  return buf;
+}
+
+std::string percent(double ratio) { return fixed(ratio * 100.0, 1) + "%"; }
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+double repro_scale() {
+  const char* env = std::getenv("REPRO_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  if (!(v > 0.0)) return 1.0;
+  return std::clamp(v, 1e-4, 1e4);
+}
+
+std::size_t scaled_count(std::size_t n) {
+  const double scaled = std::round(static_cast<double>(n) * repro_scale());
+  return static_cast<std::size_t>(std::max(1.0, scaled));
+}
+
+}  // namespace patlabor::util

@@ -1,0 +1,29 @@
+// Small string/formatting helpers shared by the io and bench code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace patlabor::util {
+
+/// Formats n with thousands separators ("1234567" -> "1,234,567").
+std::string with_commas(std::int64_t n);
+
+/// Fixed-precision double ("%.*f").
+std::string fixed(double x, int digits);
+
+/// Percentage with one decimal ("0.123" -> "12.3%").
+std::string percent(double ratio);
+
+/// Splits on a delimiter; empty fields preserved.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Reads environment variable REPRO_SCALE (default 1.0, clamped to
+/// [1e-4, 1e4]); experiment harnesses multiply instance counts by it.
+double repro_scale();
+
+/// max(1, round(n * repro_scale())) — convenience for instance counts.
+std::size_t scaled_count(std::size_t n);
+
+}  // namespace patlabor::util

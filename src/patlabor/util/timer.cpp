@@ -1,0 +1,21 @@
+#include "patlabor/util/timer.hpp"
+
+#include <cstdio>
+
+namespace patlabor::util {
+
+std::string format_duration(double seconds) {
+  char buf[32];
+  if (seconds < 0.0995) {
+    std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1e3);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.1fmin", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace patlabor::util

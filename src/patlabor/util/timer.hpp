@@ -1,0 +1,34 @@
+// Wall-clock timing helpers used by the experiment harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace patlabor::util {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration like the paper's Table II ("0s", "4.9s", "4.68h").
+std::string format_duration(double seconds);
+
+}  // namespace patlabor::util

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "patlabor/baselines/pd.hpp"
+#include "patlabor/baselines/salt.hpp"
+#include "patlabor/baselines/ysd.hpp"
+#include "patlabor/rsma/rsma.hpp"
+#include "patlabor/rsmt/mst.hpp"
+#include "patlabor/rsmt/rsmt.hpp"
+#include "test_util.hpp"
+
+namespace patlabor {
+namespace {
+
+using geom::Length;
+using geom::Net;
+
+// ---- Prim-Dijkstra ----
+
+TEST(PrimDijkstra, AlphaZeroIsMst) {
+  util::Rng rng(81);
+  for (int it = 0; it < 20; ++it) {
+    const Net net = testing::random_net(rng, 10);
+    EXPECT_EQ(baselines::prim_dijkstra(net, 0.0).wirelength(),
+              rsmt::mst_length(net));
+  }
+}
+
+TEST(PrimDijkstra, AlphaOneGivesShortestPaths) {
+  util::Rng rng(82);
+  for (int it = 0; it < 20; ++it) {
+    const Net net = testing::random_net(rng, 10);
+    const auto t = baselines::prim_dijkstra(net, 1.0);
+    // Dijkstra over the complete L1 graph: every pin at its L1 distance
+    // (direct edges always available).
+    const auto pl = t.path_lengths();
+    for (std::size_t v = 1; v < net.degree(); ++v)
+      EXPECT_EQ(pl[v], geom::l1(net.source(), net.pins[v]));
+  }
+}
+
+TEST(PrimDijkstra, SweepTradesWirelengthForDelay) {
+  util::Rng rng(83);
+  int monotone_pairs = 0, total_pairs = 0;
+  for (int it = 0; it < 20; ++it) {
+    const Net net = testing::random_net(rng, 15);
+    const auto t0 = baselines::prim_dijkstra(net, 0.0);
+    const auto t1 = baselines::prim_dijkstra(net, 1.0);
+    EXPECT_LE(t0.wirelength(), t1.wirelength());
+    EXPECT_GE(t0.delay(), t1.delay());
+    ++total_pairs;
+    if (t0.wirelength() < t1.wirelength() && t0.delay() > t1.delay())
+      ++monotone_pairs;
+  }
+  // A strict tradeoff should appear on most random nets.
+  EXPECT_GT(monotone_pairs * 2, total_pairs);
+}
+
+TEST(PdII, RefinementNeverHurtsEitherObjective) {
+  util::Rng rng(84);
+  for (int it = 0; it < 15; ++it) {
+    const Net net = testing::random_net(rng, 12);
+    for (double a : {0.0, 0.4, 1.0}) {
+      const auto raw = baselines::prim_dijkstra(net, a);
+      const auto refined = baselines::pd_ii(net, a);
+      EXPECT_TRUE(refined.validate().empty());
+      EXPECT_LE(refined.wirelength(), raw.wirelength());
+      EXPECT_LE(refined.delay(), raw.delay());
+    }
+  }
+}
+
+TEST(PdSweep, ProducesOneTreePerAlpha) {
+  util::Rng rng(85);
+  const Net net = testing::random_net(rng, 8);
+  const auto alphas = baselines::default_alphas();
+  const auto trees = baselines::pd_sweep(net, alphas, true);
+  EXPECT_EQ(trees.size(), alphas.size());
+  for (const auto& t : trees) EXPECT_TRUE(t.validate().empty());
+}
+
+// ---- SALT ----
+
+class SaltShallowness : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaltShallowness, EverySinkWithinOnePlusEpsilon) {
+  util::Rng rng(static_cast<std::uint64_t>(900 + GetParam()));
+  const std::size_t degree = 5 + rng.index(20);
+  const Net net = testing::random_net(rng, degree);
+  for (double eps : {0.0, 0.1, 0.5, 2.0}) {
+    const auto t = baselines::salt(net, eps);
+    ASSERT_TRUE(t.validate().empty());
+    const auto pl = t.path_lengths();
+    for (std::size_t v = 1; v < net.degree(); ++v) {
+      const auto direct =
+          static_cast<double>(geom::l1(net.source(), net.pins[v]));
+      EXPECT_LE(static_cast<double>(pl[v]), (1.0 + eps) * direct + 1e-6)
+          << "eps=" << eps << " sink " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaltShallowness, ::testing::Range(0, 15));
+
+TEST(Salt, LargeEpsilonApproachesRsmtWirelength) {
+  util::Rng rng(91);
+  for (int it = 0; it < 15; ++it) {
+    const Net net = testing::random_net(rng, 12);
+    const auto t = baselines::salt(net, 64.0);
+    // With a huge epsilon no breakpoints fire: wirelength equals the seed
+    // RSMT's (refinement can only improve it).
+    EXPECT_LE(t.wirelength(), rsmt::rsmt(net).wirelength());
+  }
+}
+
+TEST(Salt, EpsilonZeroMatchesStarDelay) {
+  util::Rng rng(92);
+  for (int it = 0; it < 15; ++it) {
+    const Net net = testing::random_net(rng, 12);
+    EXPECT_EQ(baselines::salt(net, 0.0).delay(), rsma::star_delay(net));
+  }
+}
+
+TEST(SaltSweep, WirelengthDecreasesWithEpsilon) {
+  util::Rng rng(93);
+  const Net net = testing::random_net(rng, 20);
+  const auto eps = baselines::default_epsilons();
+  const auto trees = baselines::salt_sweep(net, eps);
+  ASSERT_EQ(trees.size(), eps.size());
+  // Not strictly monotone tree by tree, but the extremes must order.
+  EXPECT_GE(trees.front().wirelength(), trees.back().wirelength());
+  EXPECT_LE(trees.front().delay(), trees.back().delay());
+}
+
+// ---- YSD stand-in ----
+
+TEST(Ysd, BetaExtremesOrderObjectives) {
+  util::Rng rng(94);
+  for (int it = 0; it < 10; ++it) {
+    const Net net = testing::random_net(rng, 8);
+    const auto tw = baselines::ysd(net, 1.0);  // pure wirelength
+    const auto td = baselines::ysd(net, 0.0);  // pure delay
+    EXPECT_LE(tw.wirelength(), td.wirelength());
+    EXPECT_LE(td.delay(), tw.delay());
+  }
+}
+
+TEST(Ysd, WeightedSumOnlyReachesConvexHull) {
+  // Structural property the paper criticizes: for any beta the selected
+  // solution minimizes a linear scalarization, so a frontier point strictly
+  // inside the convex hull can never be selected.  We verify the selection
+  // is always scalarization-minimal over the sweep's own output set.
+  util::Rng rng(95);
+  const Net net = testing::random_net(rng, 8);
+  const auto betas = baselines::default_betas();
+  const auto trees = baselines::ysd_sweep(net, betas);
+  for (std::size_t i = 0; i < betas.size(); ++i) {
+    const auto obj = trees[i].objective();
+    const double cost = betas[i] * static_cast<double>(obj.w) +
+                        (1 - betas[i]) * static_cast<double>(obj.d);
+    for (const auto& other : trees) {
+      const auto o = other.objective();
+      const double oc = betas[i] * static_cast<double>(o.w) +
+                        (1 - betas[i]) * static_cast<double>(o.d);
+      EXPECT_LE(cost, oc + 1e-6);
+    }
+  }
+}
+
+TEST(Ysd, LargeNetDivideAndConquerIsValid) {
+  util::Rng rng(96);
+  for (int it = 0; it < 8; ++it) {
+    const Net net = testing::random_net(rng, 40, 2000, true);
+    for (double beta : {0.0, 0.5, 1.0}) {
+      const auto t = baselines::ysd(net, beta);
+      EXPECT_TRUE(t.validate().empty()) << t.validate();
+    }
+  }
+}
+
+TEST(Ysd, DivideAndConquerCostsWirelength) {
+  // Fig. 7(c): the D&C framework "performs poorly for wirelength
+  // minimization" — on large nets its best wirelength should typically
+  // exceed the RSMT heuristic's.
+  util::Rng rng(97);
+  int worse = 0, total = 0;
+  for (int it = 0; it < 10; ++it) {
+    const Net net = testing::random_net(rng, 60, 4000, true);
+    const Length ysd_w = baselines::ysd(net, 1.0).wirelength();
+    const Length rsmt_w = rsmt::rsmt(net).wirelength();
+    ++total;
+    if (ysd_w > rsmt_w) ++worse;
+  }
+  EXPECT_GT(worse * 2, total);
+}
+
+}  // namespace
+}  // namespace patlabor

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "patlabor/eval/curves.hpp"
+#include "patlabor/eval/metrics.hpp"
+#include "patlabor/io/csv.hpp"
+#include "patlabor/io/netfile.hpp"
+#include "patlabor/io/svg.hpp"
+#include "patlabor/io/table.hpp"
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor {
+namespace {
+
+using pareto::Objective;
+using pareto::ObjVec;
+
+// ---- eval::metrics ----
+
+TEST(Metrics, NonOptimalDefinition) {
+  const ObjVec frontier{{10, 30}, {20, 20}, {30, 10}};
+  EXPECT_FALSE(eval::is_non_optimal(frontier, ObjVec{{20, 20}}));
+  EXPECT_FALSE(eval::is_non_optimal(frontier, ObjVec{{25, 25}, {30, 10}}));
+  EXPECT_TRUE(eval::is_non_optimal(frontier, ObjVec{{25, 25}}));
+  EXPECT_TRUE(eval::is_non_optimal(frontier, ObjVec{}));
+}
+
+TEST(Metrics, OptimalityCounterAggregates) {
+  eval::OptimalityCounter counter;
+  const ObjVec frontier{{10, 30}, {30, 10}};
+  counter.add(5, frontier, ObjVec{{10, 30}});          // found 1 of 2
+  counter.add(5, frontier, ObjVec{{11, 31}});          // non-optimal
+  counter.add(7, frontier, ObjVec{{10, 30}, {30, 10}});  // found all
+  const auto& rows = counter.rows();
+  ASSERT_TRUE(rows.count(5));
+  EXPECT_EQ(rows.at(5).nets, 2u);
+  EXPECT_EQ(rows.at(5).non_optimal, 1u);
+  EXPECT_EQ(rows.at(5).frontier_total, 4u);
+  EXPECT_EQ(rows.at(5).found, 1u);
+  EXPECT_DOUBLE_EQ(counter.non_optimal_ratio(5), 0.5);
+  EXPECT_DOUBLE_EQ(counter.non_optimal_ratio(7), 0.0);
+  EXPECT_DOUBLE_EQ(counter.non_optimal_ratio(9), 0.0);  // unseen degree
+}
+
+TEST(Metrics, FrontierSizeStats) {
+  eval::FrontierSizeStats stats;
+  stats.add(5, 3);
+  stats.add(5, 7);
+  stats.add(5, 2);
+  stats.add(6, 4);
+  EXPECT_EQ(stats.max_by_degree().at(5), 7u);
+  EXPECT_EQ(stats.max_by_degree().at(6), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(5), 4.0);
+}
+
+TEST(Metrics, LineFitRecoversExactLine) {
+  const std::vector<double> xs{4, 5, 6, 7, 8, 9};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.85 * x - 10.9);
+  const auto fit = eval::fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.85, 1e-9);
+  EXPECT_NEAR(fit.intercept, -10.9, 1e-9);
+}
+
+// ---- eval::curves ----
+
+TEST(Curves, AccumulatorAveragesAndTracksRuntime) {
+  eval::CurveAccumulator acc;
+  acc.add("m", ObjVec{{100, 200}, {200, 100}}, 100.0, 100.0);
+  acc.add("m", ObjVec{{100, 400}, {200, 300}}, 100.0, 100.0);
+  acc.add_runtime("m", 1.5);
+  acc.add_runtime("m", 0.5);
+  const std::vector<double> grid{1.0, 2.0};
+  const auto avg = acc.average("m", grid);
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_DOUBLE_EQ(avg[0].d, 3.0);  // (2 + 4) / 2
+  EXPECT_DOUBLE_EQ(avg[1].d, 2.0);  // (1 + 3) / 2
+  EXPECT_DOUBLE_EQ(acc.runtime("m"), 2.0);
+  EXPECT_EQ(acc.net_count("m"), 2u);
+  EXPECT_EQ(acc.methods(), std::vector<std::string>{"m"});
+}
+
+// ---- io ----
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = ::testing::TempDir() + "/pl_test.csv";
+  {
+    io::CsvWriter csv(path, {"a", "b"});
+    csv.row({"1,5", "plain"});
+    csv.row({io::CsvWriter::num(3.25), io::CsvWriter::num(7LL)});
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "a,b");
+  EXPECT_EQ(l2, "\"1,5\",plain");
+  EXPECT_EQ(l3, "3.25,7");
+  std::remove(path.c_str());
+}
+
+TEST(Table, RendersAlignedAscii) {
+  io::AsciiTable t({"Degree", "#Net"});
+  t.add_row({"4", "364670"});
+  t.add_row({"Total", "904915"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Degree |"), std::string::npos);
+  EXPECT_NE(s.find("364670"), std::string::npos);
+  // All lines equally wide.
+  std::size_t width = s.find('\n');
+  for (std::size_t pos = 0; pos < s.size();) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(NetFile, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pl_nets.txt";
+  std::vector<geom::Net> nets(2);
+  nets[0].name = "a";
+  nets[0].pins = {{0, 0}, {5, 5}};
+  nets[1].pins = {{1, 2}, {3, 4}, {5, 6}};
+  io::write_nets(path, nets);
+  const auto loaded = io::read_nets(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "a");
+  EXPECT_EQ(loaded[0].pins, nets[0].pins);
+  EXPECT_TRUE(loaded[1].name.empty());
+  EXPECT_EQ(loaded[1].pins, nets[1].pins);
+  std::remove(path.c_str());
+}
+
+TEST(NetFile, RejectsMalformedInput) {
+  const std::string path = ::testing::TempDir() + "/pl_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "net broken 3\n1 2\n";  // truncated
+  }
+  EXPECT_THROW(io::read_nets(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "pins 2\n";  // wrong tag
+  }
+  EXPECT_THROW(io::read_nets(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Svg, TreeAndCurveDocumentsAreWellFormedEnough) {
+  geom::Net net;
+  net.pins = {{0, 0}, {50, 80}, {90, 20}};
+  const auto t = tree::RoutingTree::star(net);
+  const std::string doc = io::tree_svg(t);
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("<rect"), std::string::npos);      // pins
+  EXPECT_NE(doc.find("<polyline"), std::string::npos);  // edges
+
+  const std::vector<io::LabeledCurve> curves{
+      {"PatLabor", {{1.0, 2.0}, {1.5, 1.0}}}};
+  const std::string cdoc = io::curves_svg(curves);
+  EXPECT_NE(cdoc.find("PatLabor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace patlabor

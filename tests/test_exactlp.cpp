@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "patlabor/exactlp/dominance_prover.hpp"
+#include "patlabor/exactlp/fraction.hpp"
+#include "patlabor/exactlp/simplex.hpp"
+#include "patlabor/util/rng.hpp"
+
+namespace patlabor {
+namespace {
+
+using exactlp::Count;
+using exactlp::DominanceProver;
+using exactlp::Fraction;
+using exactlp::LpProblem;
+using exactlp::LpStatus;
+using exactlp::ParamView;
+
+TEST(Fraction, Arithmetic) {
+  const Fraction a(1, 2);
+  const Fraction b(1, 3);
+  EXPECT_EQ(a + b, Fraction(5, 6));
+  EXPECT_EQ(a - b, Fraction(1, 6));
+  EXPECT_EQ(a * b, Fraction(1, 6));
+  EXPECT_EQ(a / b, Fraction(3, 2));
+  EXPECT_EQ(-a, Fraction(-1, 2));
+  EXPECT_TRUE(b < a);
+  EXPECT_TRUE(Fraction(2, 4) == Fraction(1, 2));  // normalization
+  EXPECT_TRUE(Fraction(-1, -2) == Fraction(1, 2));
+  EXPECT_TRUE(Fraction(1, -2) == Fraction(-1, 2));
+  EXPECT_EQ(Fraction(0, 7), Fraction(0));
+}
+
+TEST(Fraction, ComparisonTotalOrder) {
+  const std::vector<Fraction> vals{Fraction(-3, 2), Fraction(0), Fraction(1, 3),
+                                   Fraction(1, 2), Fraction(2)};
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    for (std::size_t j = 0; j < vals.size(); ++j) {
+      EXPECT_EQ(vals[i] < vals[j], i < j);
+      EXPECT_EQ(vals[i] == vals[j], i == j);
+    }
+}
+
+TEST(Simplex, SolvesSmallLp) {
+  // min -x1 - 2 x2  s.t.  x1 + x2 + s = 4, x2 + t = 3, all >= 0.
+  // Optimum at x1 = 1, x2 = 3, objective -7.
+  LpProblem p;
+  p.c = {Fraction(-1), Fraction(-2), Fraction(0), Fraction(0)};
+  p.a = {{Fraction(1), Fraction(1), Fraction(1), Fraction(0)},
+         {Fraction(0), Fraction(1), Fraction(0), Fraction(1)}};
+  p.b = {Fraction(4), Fraction(3)};
+  const auto r = exactlp::solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_EQ(r.objective, Fraction(-7));
+  EXPECT_EQ(r.x[0], Fraction(1));
+  EXPECT_EQ(r.x[1], Fraction(3));
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x1 = 2 and x1 = 3 simultaneously.
+  LpProblem p;
+  p.c = {Fraction(0)};
+  p.a = {{Fraction(1)}, {Fraction(1)}};
+  p.b = {Fraction(2), Fraction(3)};
+  EXPECT_EQ(exactlp::solve(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x1 s.t. x1 - x2 = 1 (x1 can run away with x2).
+  LpProblem p;
+  p.c = {Fraction(-1), Fraction(0)};
+  p.a = {{Fraction(1), Fraction(-1)}};
+  p.b = {Fraction(1)};
+  EXPECT_EQ(exactlp::solve(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, FeasibilityHelper) {
+  LpProblem p;
+  p.c = {Fraction(0), Fraction(0)};
+  p.a = {{Fraction(1), Fraction(1)}};
+  p.b = {Fraction(5)};
+  EXPECT_TRUE(exactlp::feasible(p));
+}
+
+// --- DominanceProver: the Lemma-1 / Eq.(2) decision procedure ---
+
+// Brute-force check of the delay-envelope condition by dense sampling of
+// the nonnegative orthant (sound only as a falsifier / sanity check).
+bool envelope_le_sampled(const ParamView& d1, const ParamView& d2,
+                         util::Rng& rng) {
+  auto env = [](const ParamView& d, const std::vector<double>& l) {
+    double best = -1e300;
+    for (int r = 0; r < d.rows; ++r) {
+      double v = 0;
+      for (int i = 0; i < d.dim; ++i)
+        v += static_cast<double>(
+                 d.d[static_cast<std::size_t>(r * d.dim + i)]) *
+             l[static_cast<std::size_t>(i)];
+      best = std::max(best, v);
+    }
+    return best;
+  };
+  for (int it = 0; it < 2000; ++it) {
+    std::vector<double> l(static_cast<std::size_t>(d1.dim));
+    for (auto& v : l) v = rng.uniform01();
+    if (env(d1, l) > env(d2, l) + 1e-9) return false;
+  }
+  return true;
+}
+
+TEST(DominanceProver, RowwiseFastPath) {
+  // D1 rows all below some D2 row: trivially dominated.
+  const std::vector<Count> d1{1, 0, 0, 1};
+  const std::vector<Count> d2{2, 1, 1, 2};
+  DominanceProver prover;
+  ParamView v1{{}, d1, 2, 2};
+  ParamView v2{{}, d2, 2, 2};
+  EXPECT_TRUE(prover.delay_envelope_le(v1, v2));
+  EXPECT_EQ(prover.lp_calls(), 0);  // fast path only
+}
+
+TEST(DominanceProver, NeedsConvexCombination) {
+  // D1 = {(1,1)}; D2 rows (2,0) and (0,2).  No single row dominates (1,1)
+  // but the average (1,1) does: envelope of D2 is max(2a, 2b) >= a+b.
+  const std::vector<Count> d1{1, 1};
+  const std::vector<Count> d2{2, 0, 0, 2};
+  DominanceProver prover;
+  EXPECT_TRUE(prover.delay_envelope_le(ParamView{{}, d1, 1, 2},
+                                       ParamView{{}, d2, 2, 2}));
+  EXPECT_GT(prover.lp_calls(), 0);  // required the LP
+}
+
+TEST(DominanceProver, RejectsNonDominated) {
+  // D1 = {(3,0)}, D2 = {(2,5)}: at l=(1,0) env1=3 > env2=2.
+  const std::vector<Count> d1{3, 0};
+  const std::vector<Count> d2{2, 5};
+  DominanceProver prover;
+  EXPECT_FALSE(prover.delay_envelope_le(ParamView{{}, d1, 1, 2},
+                                        ParamView{{}, d2, 1, 2}));
+}
+
+TEST(DominanceProver, WirelengthConditionIsComponentwise) {
+  const std::vector<Count> w1{1, 2, 3};
+  const std::vector<Count> w2{1, 2, 3};
+  const std::vector<Count> w3{2, 2, 3};
+  const std::vector<Count> w4{0, 9, 9};
+  const std::vector<Count> d{0, 0, 0};
+  DominanceProver prover;
+  ParamView s1{w1, d, 1, 3};
+  EXPECT_TRUE(prover.prunable(s1, ParamView{w2, d, 1, 3}));
+  EXPECT_TRUE(prover.prunable(s1, ParamView{w3, d, 1, 3}));
+  EXPECT_FALSE(prover.prunable(s1, ParamView{w4, d, 1, 3}));  // w4[0] < w1[0]
+}
+
+// Randomized agreement between the exact prover and dense sampling:
+// whenever the prover says "dominated", sampling must never find a
+// counterexample; whenever the prover says "not dominated", sampling
+// should find one often (we only assert the sound direction).
+class ProverAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProverAgreement, SoundAgainstSampling) {
+  util::Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  const int dim = 3 + static_cast<int>(rng.index(3));
+  const int r1 = 1 + static_cast<int>(rng.index(3));
+  const int r2 = 1 + static_cast<int>(rng.index(3));
+  std::vector<Count> d1(static_cast<std::size_t>(r1 * dim));
+  std::vector<Count> d2(static_cast<std::size_t>(r2 * dim));
+  for (auto& v : d1) v = static_cast<Count>(rng.index(4));
+  for (auto& v : d2) v = static_cast<Count>(rng.index(4));
+  DominanceProver prover;
+  const ParamView v1{{}, d1, r1, dim};
+  const ParamView v2{{}, d2, r2, dim};
+  if (prover.delay_envelope_le(v1, v2)) {
+    EXPECT_TRUE(envelope_le_sampled(v1, v2, rng));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProverAgreement, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace patlabor

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "patlabor/geom/box.hpp"
+#include "patlabor/geom/hanan.hpp"
+#include "patlabor/geom/net.hpp"
+#include "test_util.hpp"
+
+namespace patlabor {
+namespace {
+
+using geom::BBox;
+using geom::HananGrid;
+using geom::Point;
+
+TEST(Point, L1DistanceBasics) {
+  EXPECT_EQ(geom::l1({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(geom::l1({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(geom::l1({-2, 5}, {3, -1}), 11);
+  EXPECT_EQ(geom::l1({3, 4}, {0, 0}), geom::l1({0, 0}, {3, 4}));
+}
+
+TEST(Point, L1TriangleInequality) {
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Point a{rng.uniform_int(-100, 100), rng.uniform_int(-100, 100)};
+    const Point b{rng.uniform_int(-100, 100), rng.uniform_int(-100, 100)};
+    const Point c{rng.uniform_int(-100, 100), rng.uniform_int(-100, 100)};
+    EXPECT_LE(geom::l1(a, c), geom::l1(a, b) + geom::l1(b, c));
+  }
+}
+
+TEST(BBox, ExpandContainsProject) {
+  BBox b;
+  EXPECT_TRUE(b.empty());
+  b.expand({2, 3});
+  b.expand({8, 1});
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(b.contains({5, 2}));
+  EXPECT_TRUE(b.contains({2, 1}));
+  EXPECT_FALSE(b.contains({1, 2}));
+  EXPECT_EQ(b.half_perimeter(), 6 + 2);
+  EXPECT_EQ(b.project({0, 0}), (Point{2, 1}));
+  EXPECT_EQ(b.project({5, 2}), (Point{5, 2}));
+  EXPECT_EQ(b.project({100, -5}), (Point{8, 1}));
+}
+
+TEST(BBox, HpwlOfPoints) {
+  const std::vector<Point> pts{{0, 0}, {10, 2}, {4, 9}};
+  EXPECT_EQ(geom::hpwl(pts), 10 + 9);
+}
+
+TEST(HananGrid, StructureOfThreePins) {
+  const std::vector<Point> pins{{0, 0}, {10, 5}, {4, 9}};
+  HananGrid g(pins);
+  EXPECT_EQ(g.nx(), 3);
+  EXPECT_EQ(g.ny(), 3);
+  EXPECT_EQ(g.num_nodes(), 9);
+  // Gap lengths are consecutive coordinate differences.
+  ASSERT_EQ(g.x_gaps().size(), 2u);
+  EXPECT_EQ(g.x_gaps()[0], 4);
+  EXPECT_EQ(g.x_gaps()[1], 6);
+  ASSERT_EQ(g.y_gaps().size(), 2u);
+  EXPECT_EQ(g.y_gaps()[0], 5);
+  EXPECT_EQ(g.y_gaps()[1], 4);
+  // Every pin is a grid node at its own coordinates.
+  for (const Point& p : pins) EXPECT_EQ(g.point(g.node_at(p)), p);
+}
+
+TEST(HananGrid, DuplicateCoordinatesCollapse) {
+  const std::vector<Point> pins{{5, 5}, {5, 9}, {2, 5}};
+  HananGrid g(pins);
+  EXPECT_EQ(g.nx(), 2);
+  EXPECT_EQ(g.ny(), 2);
+}
+
+TEST(HananGrid, DistMatchesL1) {
+  util::Rng rng(11);
+  const auto net = testing::random_net(rng, 6);
+  HananGrid g(net.pins);
+  for (int a = 0; a < g.num_nodes(); ++a)
+    for (int b = 0; b < g.num_nodes(); ++b)
+      EXPECT_EQ(g.dist(a, b), geom::l1(g.point(a), g.point(b)));
+}
+
+TEST(HananGrid, CornerPruningKeepsPinsAndInterior) {
+  // A diagonal of pins: the two off-diagonal corners of every pin pair are
+  // corner nodes unless another pin covers them.
+  const std::vector<Point> pins{{0, 0}, {10, 10}};
+  HananGrid g(pins);
+  const auto prunable = g.corner_prunable(pins);
+  // 2x2 grid: both pins kept, the two opposite corners pruned.
+  EXPECT_FALSE(prunable[static_cast<std::size_t>(g.node_at({0, 0}))]);
+  EXPECT_FALSE(prunable[static_cast<std::size_t>(g.node_at({10, 10}))]);
+  EXPECT_TRUE(prunable[static_cast<std::size_t>(g.node_at({0, 10}))]);
+  EXPECT_TRUE(prunable[static_cast<std::size_t>(g.node_at({10, 0}))]);
+}
+
+TEST(HananGrid, CornerPruningNeverPrunesPins) {
+  util::Rng rng(3);
+  for (int it = 0; it < 20; ++it) {
+    const auto net = testing::random_net(rng, 7);
+    HananGrid g(net.pins);
+    const auto prunable = g.corner_prunable(net.pins);
+    for (const Point& p : net.pins)
+      EXPECT_FALSE(prunable[static_cast<std::size_t>(g.node_at(p))]);
+  }
+}
+
+TEST(Net, DegreeAndAccessors) {
+  geom::Net net;
+  net.pins = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(net.degree(), 3u);
+  EXPECT_EQ(net.source(), (Point{1, 2}));
+  EXPECT_EQ(net.sinks().size(), 2u);
+  EXPECT_EQ(net.sinks()[1], (Point{5, 6}));
+}
+
+}  // namespace
+}  // namespace patlabor

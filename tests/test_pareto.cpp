@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "patlabor/pareto/curve.hpp"
+#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/util/rng.hpp"
+
+namespace patlabor {
+namespace {
+
+using pareto::Objective;
+using pareto::ObjVec;
+
+TEST(Dominance, Definition) {
+  EXPECT_TRUE(pareto::dominates({1, 2}, {2, 2}));
+  EXPECT_TRUE(pareto::dominates({1, 2}, {1, 3}));
+  EXPECT_FALSE(pareto::dominates({1, 2}, {1, 2}));  // equal: not dominating
+  EXPECT_FALSE(pareto::dominates({1, 3}, {2, 2}));  // incomparable
+  EXPECT_TRUE(pareto::weakly_dominates({1, 2}, {1, 2}));
+}
+
+TEST(ParetoFilter, RemovesDominatedAndDuplicates) {
+  const ObjVec f = pareto::pareto_filter(
+      {{5, 1}, {3, 3}, {4, 2}, {3, 3}, {6, 6}, {1, 9}, {4, 9}});
+  const ObjVec expect{{1, 9}, {3, 3}, {4, 2}, {5, 1}};
+  EXPECT_EQ(f, expect);
+}
+
+TEST(ParetoFilter, EmptyAndSingleton) {
+  EXPECT_TRUE(pareto::pareto_filter({}).empty());
+  EXPECT_EQ(pareto::pareto_filter({{7, 7}}), (ObjVec{{7, 7}}));
+}
+
+// Property sweep: filter output is an antichain, a subset of the input, and
+// every input point is weakly dominated by some output point; filtering is
+// idempotent.
+class ParetoFilterProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParetoFilterProperty, Invariants) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  ObjVec pts;
+  const int n = 1 + static_cast<int>(rng.index(60));
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform_int(0, 30), rng.uniform_int(0, 30)});
+  const ObjVec f = pareto::pareto_filter(pts);
+
+  EXPECT_TRUE(pareto::is_pareto_curve(f));
+  for (const Objective& p : f)
+    EXPECT_NE(std::find(pts.begin(), pts.end(), p), pts.end());
+  for (const Objective& p : pts) EXPECT_TRUE(pareto::covers(f, p));
+  EXPECT_EQ(pareto::pareto_filter(f), f);
+  // Sorted ascending in w, strictly descending in d.
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    EXPECT_LT(f[i - 1].w, f[i].w);
+    EXPECT_GT(f[i - 1].d, f[i].d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoFilterProperty,
+                         ::testing::Range(0, 25));
+
+TEST(ParetoIndices, KeepsPayloadAlignment) {
+  const ObjVec pts{{5, 1}, {3, 3}, {3, 3}, {9, 9}};
+  const auto idx = pareto::pareto_indices(pts);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1u);  // first duplicate of (3,3) kept
+  EXPECT_EQ(idx[1], 0u);
+}
+
+TEST(Shift, AddsToBothObjectives) {
+  const ObjVec s{{1, 2}, {3, 1}};
+  const ObjVec out = pareto::shifted(s, 10);
+  EXPECT_EQ(out, (ObjVec{{11, 12}, {13, 11}}));
+}
+
+TEST(ParetoSum, MatchesDefinition) {
+  // ⊕: wirelengths add, delays take max, then filter.
+  const ObjVec a{{1, 5}, {4, 1}};
+  const ObjVec b{{2, 3}, {3, 2}};
+  const ObjVec s = pareto::pareto_sum(a, b);
+  // Candidates: (3,5) (4,5) (6,3) (7,2)
+  EXPECT_EQ(s, (ObjVec{{3, 5}, {6, 3}, {7, 2}}));
+}
+
+TEST(ParetoSum, IdentityWithZeroElement) {
+  const ObjVec a{{3, 7}, {8, 2}};
+  const ObjVec zero{{0, 0}};
+  EXPECT_EQ(pareto::pareto_sum(a, zero), pareto::pareto_filter(a));
+}
+
+TEST(CountCovered, TableIVAccounting) {
+  const ObjVec frontier{{1, 9}, {3, 3}, {5, 1}};
+  const ObjVec found{{3, 3}, {5, 2}};  // (5,2) covers (5,1)? no: d worse
+  EXPECT_EQ(pareto::count_covered(frontier, found), 1u);
+  const ObjVec better{{1, 9}, {2, 3}, {5, 1}};  // (2,3) covers (3,3)
+  EXPECT_EQ(pareto::count_covered(frontier, better), 3u);
+}
+
+TEST(Hypervolume, RectangleAreas) {
+  const ObjVec f{{1, 3}, {2, 1}};
+  // ref (4,4): point (1,3) adds (4-1)*(4-3)=3; point (2,1) adds (4-2)*(3-1)=4.
+  EXPECT_DOUBLE_EQ(pareto::hypervolume(f, {4, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(pareto::hypervolume({}, {4, 4}), 0.0);
+  // Points beyond the reference contribute nothing.
+  EXPECT_DOUBLE_EQ(pareto::hypervolume(ObjVec{{5, 5}}, {4, 4}), 0.0);
+}
+
+TEST(Hypervolume, MonotoneUnderImprovement) {
+  util::Rng rng(5);
+  for (int it = 0; it < 50; ++it) {
+    ObjVec pts;
+    for (int i = 0; i < 10; ++i)
+      pts.push_back({rng.uniform_int(1, 50), rng.uniform_int(1, 50)});
+    const Objective ref{60, 60};
+    const double hv = pareto::hypervolume(pts, ref);
+    // Adding a point can only grow the hypervolume.
+    ObjVec more = pts;
+    more.push_back({rng.uniform_int(1, 50), rng.uniform_int(1, 50)});
+    EXPECT_GE(pareto::hypervolume(more, ref) + 1e-9, hv);
+  }
+}
+
+TEST(ParetoUnion, MergesSets) {
+  const std::vector<ObjVec> sets{{{1, 5}, {4, 2}}, {{2, 3}, {9, 9}}};
+  EXPECT_EQ(pareto::pareto_union(sets), (ObjVec{{1, 5}, {2, 3}, {4, 2}}));
+}
+
+TEST(Curve, NormalizeAndStaircase) {
+  const ObjVec f{{10, 40}, {20, 20}};
+  const auto c = pareto::normalize(f, 10.0, 20.0);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0].w, 1.0);
+  EXPECT_DOUBLE_EQ(c[0].d, 2.0);
+  EXPECT_DOUBLE_EQ(pareto::staircase_eval(c, 1.5), 2.0);
+  EXPECT_DOUBLE_EQ(pareto::staircase_eval(c, 2.0), 1.0);
+  EXPECT_TRUE(std::isinf(pareto::staircase_eval(c, 0.5)));
+}
+
+TEST(Curve, AverageCurves) {
+  const std::vector<std::vector<pareto::CurvePoint>> curves{
+      {{1.0, 4.0}, {2.0, 2.0}},
+      {{1.0, 2.0}, {2.0, 1.0}},
+  };
+  const std::vector<double> grid{1.0, 2.0};
+  const auto avg = pareto::average_curves(curves, grid);
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_DOUBLE_EQ(avg[0].d, 3.0);
+  EXPECT_DOUBLE_EQ(avg[1].d, 1.5);
+}
+
+TEST(Curve, Linspace) {
+  const auto g = pareto::linspace(0.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.5);
+  EXPECT_DOUBLE_EQ(g[4], 1.0);
+}
+
+}  // namespace
+}  // namespace patlabor

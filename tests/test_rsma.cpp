@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "patlabor/rsma/rsma.hpp"
+#include "patlabor/rsmt/rsmt.hpp"
+#include "test_util.hpp"
+
+namespace patlabor {
+namespace {
+
+using geom::Net;
+using geom::Point;
+
+TEST(Rsma, StarDelayIsMaxL1) {
+  Net net;
+  net.pins = {{0, 0}, {3, 4}, {-10, 2}, {1, 1}};
+  EXPECT_EQ(rsma::star_delay(net), 12);
+}
+
+TEST(Rsma, TwoCollinearSinksShareTrunk) {
+  Net net;
+  net.pins = {{0, 0}, {10, 0}, {20, 0}};
+  const auto t = rsma::rsma(net);
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_EQ(t.wirelength(), 20);  // chain, shortest-path preserved
+  EXPECT_EQ(t.delay(), 20);
+}
+
+TEST(Rsma, SharedTrunkInOneQuadrant) {
+  // Two sinks in the first quadrant with a long shared trunk.
+  Net net;
+  net.pins = {{0, 0}, {10, 8}, {8, 10}};
+  const auto t = rsma::rsma(net);
+  EXPECT_TRUE(t.validate().empty());
+  // Meet point (8,8): trunk 16, then 2 + 2.
+  EXPECT_EQ(t.wirelength(), 20);
+  EXPECT_EQ(t.delay(), 18);
+}
+
+// The defining arborescence property: every sink is reached by a shortest
+// monotone path, so the tree delay equals the star delay, per sink.
+class RsmaShortestPath : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsmaShortestPath, EverySinkAtL1Distance) {
+  util::Rng rng(static_cast<std::uint64_t>(400 + GetParam()));
+  const auto degree = 3 + rng.index(20);
+  const Net net = testing::random_net(rng, degree, 500, /*allow_ties=*/true);
+  const auto t = rsma::rsma(net);
+  ASSERT_TRUE(t.validate().empty()) << t.validate();
+  const auto pl = t.path_lengths();
+  for (std::size_t i = 1; i < net.degree(); ++i) {
+    // Pin i sits at node i of the tree.
+    EXPECT_EQ(pl[i], geom::l1(net.source(), net.pins[i]))
+        << "sink " << i << " not on a shortest path";
+  }
+  EXPECT_EQ(t.delay(), rsma::star_delay(net));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsmaShortestPath, ::testing::Range(0, 30));
+
+TEST(Rsma, WirelengthAtMostStar) {
+  util::Rng rng(41);
+  for (int it = 0; it < 25; ++it) {
+    const Net net = testing::random_net(rng, 12, 500, true);
+    const auto t = rsma::rsma(net);
+    geom::Length star_w = 0;
+    for (const Point& p : net.sinks()) star_w += geom::l1(net.source(), p);
+    EXPECT_LE(t.wirelength(), star_w);
+  }
+}
+
+TEST(Rsma, WirelengthAtLeastRsmt) {
+  util::Rng rng(42);
+  for (int it = 0; it < 20; ++it) {
+    const Net net = testing::random_net(rng, 6);
+    EXPECT_GE(rsma::rsma(net).wirelength(),
+              rsmt::exact_rsmt(net).wirelength());
+  }
+}
+
+TEST(Rsma, SinkCoincidentWithSource) {
+  Net net;
+  net.pins = {{5, 5}, {5, 5}, {9, 9}};
+  const auto t = rsma::rsma(net);
+  EXPECT_TRUE(t.validate().empty()) << t.validate();
+  EXPECT_EQ(t.delay(), 8);
+}
+
+}  // namespace
+}  // namespace patlabor

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "patlabor/dw/pareto_dw.hpp"
+#include "patlabor/timing/elmore.hpp"
+#include "test_util.hpp"
+
+namespace patlabor {
+namespace {
+
+using geom::Net;
+using timing::RcParams;
+using tree::RoutingTree;
+
+TEST(Elmore, TwoPinHandComputed) {
+  // One wire of length L: delay = Rd*(cL + Cs) + rL*(cL/2 + Cs).
+  Net net;
+  net.pins = {{0, 0}, {10, 0}};
+  const RoutingTree t = RoutingTree::star(net);
+  RcParams p;
+  p.unit_res = 2.0;
+  p.unit_cap = 3.0;
+  p.driver_res = 5.0;
+  p.sink_cap = 7.0;
+  const double L = 10.0;
+  const double expect = 5.0 * (3.0 * L + 7.0) +
+                        (2.0 * L) * (0.5 * 3.0 * L + 7.0);
+  EXPECT_DOUBLE_EQ(timing::max_elmore(t, p), expect);
+  EXPECT_DOUBLE_EQ(timing::total_load(t, p), 3.0 * L + 7.0);
+}
+
+TEST(Elmore, SharedTrunkChargesBothBranches) {
+  // Source -> Steiner at (10,0) -> sinks at (10,5) and (10,-5).
+  Net net;
+  net.pins = {{0, 0}, {10, 5}, {10, -5}};
+  RoutingTree t = RoutingTree::star(net);
+  const auto s = t.add_steiner({10, 0}, 0);
+  t.set_parent(1, static_cast<std::int32_t>(s));
+  t.set_parent(2, static_cast<std::int32_t>(s));
+  RcParams p;
+  p.driver_res = 0.0;
+  p.sink_cap = 0.0;
+  p.unit_res = 1.0;
+  p.unit_cap = 1.0;
+  // Trunk: R=10 charging (5 + 10 + 10 - half of itself): 10*(5+5+5) = 150.
+  // Branch: R=5 charging 2.5 -> 12.5.  Sink delay = 162.5.
+  const auto d = timing::elmore_delays(t, p);
+  EXPECT_DOUBLE_EQ(d[s], 150.0);
+  EXPECT_DOUBLE_EQ(d[1], 162.5);
+  EXPECT_DOUBLE_EQ(d[2], 162.5);
+}
+
+TEST(Elmore, SymmetricSinksHaveEqualDelay) {
+  Net net;
+  net.pins = {{0, 0}, {10, 3}, {10, -3}};
+  const RoutingTree t = RoutingTree::star(net);
+  const auto d = timing::elmore_delays(t);
+  EXPECT_DOUBLE_EQ(d[1], d[2]);
+}
+
+TEST(Elmore, MonotoneInPathResistance) {
+  // Stretching a sink farther from the source can only raise its delay.
+  for (geom::Coord x : {10, 20, 40}) {
+    Net near_net, far_net;
+    near_net.pins = {{0, 0}, {x, 0}};
+    far_net.pins = {{0, 0}, {2 * x, 0}};
+    EXPECT_LT(timing::max_elmore(RoutingTree::star(near_net)),
+              timing::max_elmore(RoutingTree::star(far_net)));
+  }
+}
+
+TEST(Elmore, PathLengthProxyCorrelatesOnFrontiers) {
+  // Across the exact frontier of a net, path-length delay and Elmore delay
+  // should rank trees consistently (strong positive correlation) — the
+  // justification for the paper's delay proxy.
+  util::Rng rng(301);
+  double corr_sum = 0.0;
+  int counted = 0;
+  for (int it = 0; it < 50 && counted < 12; ++it) {
+    const Net net = testing::random_net(rng, 9);
+    const auto r = dw::pareto_dw(net);
+    if (r.trees.size() < 3) continue;
+    std::vector<double> proxy, elmore;
+    for (const auto& t : r.trees) {
+      proxy.push_back(static_cast<double>(t.delay()));
+      elmore.push_back(timing::max_elmore(t));
+    }
+    corr_sum += timing::pearson(proxy, elmore);
+    ++counted;
+  }
+  ASSERT_GT(counted, 5);
+  EXPECT_GT(corr_sum / counted, 0.5);
+}
+
+TEST(Elmore, SteinerNodesCarryNoLoad) {
+  // A Steiner point must not add sink capacitance: two trees identical up
+  // to a degree-2 pass-through Steiner node have equal delays.
+  Net net;
+  net.pins = {{0, 0}, {10, 10}};
+  RoutingTree direct = RoutingTree::star(net);
+  RoutingTree with_steiner = RoutingTree::star(net);
+  const auto s = with_steiner.add_steiner({10, 0}, 0);
+  with_steiner.set_parent(1, static_cast<std::int32_t>(s));
+  // Same total wirelength (L-shape split at the corner).
+  EXPECT_EQ(direct.wirelength(), with_steiner.wirelength());
+  EXPECT_DOUBLE_EQ(timing::max_elmore(direct),
+                   timing::max_elmore(with_steiner));
+}
+
+TEST(Pearson, KnownValues) {
+  EXPECT_DOUBLE_EQ(timing::pearson({1, 2, 3}, {2, 4, 6}), 1.0);
+  EXPECT_DOUBLE_EQ(timing::pearson({1, 2, 3}, {6, 4, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(timing::pearson({1, 1, 1}, {1, 2, 3}), 0.0);  // no var
+  EXPECT_DOUBLE_EQ(timing::pearson({1, 2}, {1}), 0.0);           // size mismatch
+}
+
+}  // namespace
+}  // namespace patlabor

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "patlabor/tree/routing_tree.hpp"
+#include "test_util.hpp"
+
+namespace patlabor {
+namespace {
+
+using geom::Net;
+using geom::Point;
+using tree::RoutingTree;
+
+Net three_pin_net() {
+  Net net;
+  net.pins = {{0, 0}, {10, 0}, {0, 10}};
+  return net;
+}
+
+TEST(RoutingTree, StarObjectives) {
+  const Net net = three_pin_net();
+  const RoutingTree t = RoutingTree::star(net);
+  EXPECT_TRUE(t.validate().empty()) << t.validate();
+  EXPECT_EQ(t.wirelength(), 20);
+  EXPECT_EQ(t.delay(), 10);
+  EXPECT_EQ(t.objective(), (pareto::Objective{20, 10}));
+}
+
+TEST(RoutingTree, FromEdgesChain) {
+  Net net;
+  net.pins = {{0, 0}, {5, 0}, {9, 0}};
+  const std::vector<std::pair<Point, Point>> edges{
+      {{0, 0}, {5, 0}}, {{5, 0}, {9, 0}}};
+  const RoutingTree t = RoutingTree::from_edges(net, edges);
+  EXPECT_TRUE(t.validate().empty()) << t.validate();
+  EXPECT_EQ(t.wirelength(), 9);
+  EXPECT_EQ(t.delay(), 9);
+  EXPECT_EQ(t.parent(2), 1);
+}
+
+TEST(RoutingTree, FromEdgesWithSteinerPoint) {
+  Net net;
+  net.pins = {{0, 0}, {10, 10}, {10, -10}};
+  const std::vector<std::pair<Point, Point>> edges{
+      {{0, 0}, {10, 0}}, {{10, 0}, {10, 10}}, {{10, 0}, {10, -10}}};
+  RoutingTree t = RoutingTree::from_edges(net, edges);
+  EXPECT_TRUE(t.validate().empty()) << t.validate();
+  EXPECT_EQ(t.num_nodes(), 4u);  // 3 pins + 1 Steiner
+  EXPECT_EQ(t.wirelength(), 30);
+  EXPECT_EQ(t.delay(), 20);
+}
+
+TEST(RoutingTree, FromEdgesDuplicateEdgesCollapse) {
+  Net net;
+  net.pins = {{0, 0}, {4, 0}};
+  const std::vector<std::pair<Point, Point>> edges{
+      {{0, 0}, {4, 0}}, {{4, 0}, {0, 0}}, {{0, 0}, {4, 0}}};
+  const RoutingTree t = RoutingTree::from_edges(net, edges);
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_EQ(t.wirelength(), 4);
+}
+
+TEST(RoutingTree, FromEdgesCyclicUnionTakesShortestPaths) {
+  // A cycle: the SPT orientation must give each pin its shortest distance.
+  Net net;
+  net.pins = {{0, 0}, {10, 0}, {10, 10}};
+  const std::vector<std::pair<Point, Point>> edges{
+      {{0, 0}, {10, 0}}, {{10, 0}, {10, 10}}, {{0, 0}, {0, 10}},
+      {{0, 10}, {10, 10}}};
+  const RoutingTree t = RoutingTree::from_edges(net, edges);
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_EQ(t.delay(), 20);  // both sinks reached at L1 distance
+}
+
+TEST(RoutingTree, ValidateCatchesDisconnection) {
+  Net net;
+  net.pins = {{0, 0}, {5, 5}};
+  const RoutingTree t =
+      RoutingTree::from_edges(net, std::vector<std::pair<Point, Point>>{});
+  EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(RoutingTree, ValidateCatchesCycle) {
+  Net net;
+  net.pins = {{0, 0}, {5, 5}, {9, 9}};
+  RoutingTree t = RoutingTree::star(net);
+  t.set_parent(1, 2);
+  t.set_parent(2, 1);
+  EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(RoutingTree, PathLengthsAndSubtree) {
+  Net net;
+  net.pins = {{0, 0}, {5, 0}, {5, 7}};
+  RoutingTree t = RoutingTree::star(net);
+  t.set_parent(2, 1);  // chain 0 -> 1 -> 2
+  const auto pl = t.path_lengths();
+  EXPECT_EQ(pl[0], 0);
+  EXPECT_EQ(pl[1], 5);
+  EXPECT_EQ(pl[2], 12);
+  EXPECT_TRUE(t.in_subtree(2, 1));
+  EXPECT_TRUE(t.in_subtree(2, 0));
+  EXPECT_FALSE(t.in_subtree(1, 2));
+}
+
+TEST(RoutingTree, NormalizeDropsDanglingSteiner) {
+  Net net;
+  net.pins = {{0, 0}, {10, 0}};
+  RoutingTree t = RoutingTree::star(net);
+  t.add_steiner({3, 3}, 0);   // dead-end Steiner node
+  t.add_steiner({4, 4}, 2);   // child of the dead end
+  EXPECT_EQ(t.num_nodes(), 4u);
+  t.normalize();
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_TRUE(t.validate().empty());
+  EXPECT_EQ(t.wirelength(), 10);
+}
+
+TEST(RoutingTree, NormalizeSplicesMonotonePassThrough) {
+  Net net;
+  net.pins = {{0, 0}, {10, 10}};
+  RoutingTree t = RoutingTree::star(net);
+  const auto s = t.add_steiner({5, 5}, 0);  // on a monotone path
+  t.set_parent(1, static_cast<std::int32_t>(s));
+  EXPECT_EQ(t.num_nodes(), 3u);
+  t.normalize();
+  EXPECT_EQ(t.num_nodes(), 2u);  // spliced out, objectives unchanged
+  EXPECT_EQ(t.wirelength(), 20);
+  EXPECT_EQ(t.delay(), 20);
+}
+
+TEST(RoutingTree, NormalizeKeepsElbowSteiner) {
+  // A Steiner node NOT on a monotone path carries geometry; keep it.
+  Net net;
+  net.pins = {{0, 0}, {10, 0}};
+  RoutingTree t = RoutingTree::star(net);
+  const auto s = t.add_steiner({5, 5}, 0);  // detour elbow
+  t.set_parent(1, static_cast<std::int32_t>(s));
+  t.normalize();
+  EXPECT_EQ(t.num_nodes(), 3u);
+  EXPECT_EQ(t.wirelength(), 20);  // detour preserved
+}
+
+TEST(RoutingTree, StructuralHashIgnoresOrientationAndOrder) {
+  Net net;
+  net.pins = {{0, 0}, {10, 0}, {20, 0}};
+  const std::vector<std::pair<Point, Point>> e1{
+      {{0, 0}, {10, 0}}, {{10, 0}, {20, 0}}};
+  const std::vector<std::pair<Point, Point>> e2{
+      {{20, 0}, {10, 0}}, {{10, 0}, {0, 0}}};
+  EXPECT_EQ(RoutingTree::from_edges(net, e1).structural_hash(),
+            RoutingTree::from_edges(net, e2).structural_hash());
+  const std::vector<std::pair<Point, Point>> e3{
+      {{0, 0}, {20, 0}}, {{20, 0}, {10, 0}}};
+  EXPECT_NE(RoutingTree::from_edges(net, e1).structural_hash(),
+            RoutingTree::from_edges(net, e3).structural_hash());
+}
+
+TEST(RoutingTree, DelayIgnoresSteinerNodes) {
+  Net net;
+  net.pins = {{0, 0}, {2, 0}};
+  RoutingTree t = RoutingTree::star(net);
+  const auto s = t.add_steiner({50, 50}, 0);  // far Steiner leaf
+  (void)s;
+  EXPECT_EQ(t.delay(), 2);  // delay is over sinks only
+}
+
+TEST(RoutingTree, ObjectivesHelper) {
+  const Net net = three_pin_net();
+  std::vector<RoutingTree> trees{RoutingTree::star(net),
+                                 RoutingTree::star(net)};
+  const auto objs = tree::objectives(trees);
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_EQ(objs[0], (pareto::Objective{20, 10}));
+}
+
+}  // namespace
+}  // namespace patlabor

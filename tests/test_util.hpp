@@ -1,0 +1,34 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "patlabor/geom/net.hpp"
+#include "patlabor/util/rng.hpp"
+
+namespace patlabor::testing {
+
+/// A random net with pins on an integer window, distinct coordinates
+/// (general position) unless allow_ties.
+inline geom::Net random_net(util::Rng& rng, std::size_t degree,
+                            geom::Coord window = 1000,
+                            bool allow_ties = false) {
+  geom::Net net;
+  net.pins.reserve(degree);
+  std::vector<geom::Coord> xs, ys;
+  while (net.pins.size() < degree) {
+    const geom::Coord x = rng.uniform_int(0, window);
+    const geom::Coord y = rng.uniform_int(0, window);
+    if (!allow_ties) {
+      bool clash = false;
+      for (const auto& p : net.pins)
+        if (p.x == x || p.y == y) clash = true;
+      if (clash) continue;
+    }
+    net.pins.push_back(geom::Point{x, y});
+  }
+  return net;
+}
+
+}  // namespace patlabor::testing

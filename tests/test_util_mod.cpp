@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "patlabor/util/rng.hpp"
+#include "patlabor/util/str.hpp"
+#include "patlabor/util/timer.hpp"
+
+namespace patlabor {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  util::Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  util::Rng a2(42), c2(43);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  util::Rng rng(1);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all values of a small range appear
+}
+
+TEST(Rng, Uniform01InRange) {
+  util::Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 5000.0, 0.5, 0.03);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  util::Rng rng(4);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(w, v);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  util::Rng a(5);
+  util::Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Str, WithCommas) {
+  EXPECT_EQ(util::with_commas(0), "0");
+  EXPECT_EQ(util::with_commas(999), "999");
+  EXPECT_EQ(util::with_commas(1000), "1,000");
+  EXPECT_EQ(util::with_commas(1234567), "1,234,567");
+  EXPECT_EQ(util::with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Str, FixedAndPercent) {
+  EXPECT_EQ(util::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(util::percent(0.123), "12.3%");
+  EXPECT_EQ(util::percent(0.0), "0.0%");
+}
+
+TEST(Str, Split) {
+  const auto parts = util::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Str, ReproScaleParsesEnvironment) {
+  // Note: setenv is process-global; restore afterwards.
+  const char* old = std::getenv("REPRO_SCALE");
+  setenv("REPRO_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(util::repro_scale(), 0.25);
+  EXPECT_EQ(util::scaled_count(100), 25u);
+  EXPECT_EQ(util::scaled_count(1), 1u);  // never below 1
+  setenv("REPRO_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(util::repro_scale(), 1.0);
+  if (old != nullptr) {
+    setenv("REPRO_SCALE", old, 1);
+  } else {
+    unsetenv("REPRO_SCALE");
+  }
+}
+
+TEST(Timer, FormatDuration) {
+  EXPECT_EQ(util::format_duration(0.004), "4ms");
+  EXPECT_EQ(util::format_duration(4.9), "4.9s");
+  EXPECT_EQ(util::format_duration(276.0), "4.6min");
+  EXPECT_EQ(util::format_duration(4.68 * 3600), "4.68h");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  util::Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace patlabor

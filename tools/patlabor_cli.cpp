@@ -1,0 +1,169 @@
+// patlabor_cli — command-line front end to the library.
+//
+//   patlabor_cli gen  <uniform|clustered|smoothed> <count> <degree> <out.nets>
+//                     [seed] [kappa]
+//   patlabor_cli route <in.nets> [--lut <path>] [--lambda N] [--csv <out.csv>]
+//   patlabor_cli lutgen <max_degree> <out.bin>
+//   patlabor_cli lutinfo <table.bin>
+//
+// Net file format: see src/patlabor/io/netfile.hpp.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "patlabor/patlabor.hpp"
+
+namespace {
+
+using namespace patlabor;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  patlabor_cli gen <uniform|clustered|smoothed> <count> <degree> "
+      "<out.nets> [seed] [kappa]\n"
+      "  patlabor_cli route <in.nets> [--lut <path>] [--lambda N] "
+      "[--csv <out.csv>]\n"
+      "  patlabor_cli lutgen <max_degree> <out.bin>\n"
+      "  patlabor_cli lutinfo <table.bin>\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const std::string kind = argv[2];
+  const auto count = static_cast<std::size_t>(std::atoll(argv[3]));
+  const auto degree = static_cast<std::size_t>(std::atoll(argv[4]));
+  const std::string out = argv[5];
+  const std::uint64_t seed =
+      argc >= 7 ? static_cast<std::uint64_t>(std::atoll(argv[6])) : 1;
+  const double kappa = argc >= 8 ? std::atof(argv[7]) : 4.0;
+  if (count == 0 || degree < 2) return usage();
+
+  util::Rng rng(seed);
+  std::vector<geom::Net> nets;
+  nets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    geom::Net net;
+    if (kind == "uniform") {
+      net = netgen::uniform_net(rng, degree);
+    } else if (kind == "clustered") {
+      net = netgen::clustered_net(rng, degree);
+    } else if (kind == "smoothed") {
+      net = netgen::smoothed_net(rng, degree, kappa);
+    } else {
+      return usage();
+    }
+    net.name = kind + "_" + std::to_string(i);
+    nets.push_back(std::move(net));
+  }
+  io::write_nets(out, nets);
+  std::printf("wrote %zu %s degree-%zu nets to %s\n", count, kind.c_str(),
+              degree, out.c_str());
+  return 0;
+}
+
+int cmd_route(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string in = argv[2];
+  std::string lut_path, csv_path;
+  std::size_t lambda = 9;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lut") == 0 && i + 1 < argc) {
+      lut_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--lambda") == 0 && i + 1 < argc) {
+      lambda = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  lut::LookupTable table;
+  const bool have_table = !lut_path.empty();
+  if (have_table) table = lut::LookupTable::load(lut_path);
+
+  const auto nets = io::read_nets(in);
+  core::PatLaborOptions opt;
+  opt.lambda = lambda;
+  if (have_table) opt.table = &table;
+
+  std::unique_ptr<io::CsvWriter> csv;
+  if (!csv_path.empty())
+    csv = std::make_unique<io::CsvWriter>(
+        csv_path,
+        std::vector<std::string>{"net", "degree", "wirelength", "delay"});
+
+  util::Timer timer;
+  std::size_t points = 0;
+  for (const geom::Net& net : nets) {
+    const auto r = core::patlabor(net, opt);
+    std::printf("%s (degree %zu): %zu frontier points\n",
+                net.name.empty() ? "<net>" : net.name.c_str(), net.degree(),
+                r.frontier.size());
+    for (const auto& s : r.frontier) {
+      std::printf("  w=%lld d=%lld\n", static_cast<long long>(s.w),
+                  static_cast<long long>(s.d));
+      if (csv) csv->row({net.name, std::to_string(net.degree()),
+                         io::CsvWriter::num(static_cast<long long>(s.w)),
+                         io::CsvWriter::num(static_cast<long long>(s.d))});
+      ++points;
+    }
+  }
+  std::printf("routed %zu nets (%zu frontier points) in %s\n", nets.size(),
+              points, util::format_duration(timer.seconds()).c_str());
+  return 0;
+}
+
+int cmd_lutgen(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const int max_degree = std::atoi(argv[2]);
+  if (max_degree < 4 || max_degree > lut::kMaxLutDegree) {
+    std::fprintf(stderr, "max_degree must be in [4, %d]\n",
+                 lut::kMaxLutDegree);
+    return 2;
+  }
+  const lut::LookupTable table = lut::LookupTable::generate(max_degree);
+  table.save(argv[3]);
+  std::printf("lookup table (degrees 4..%d) saved to %s\n", max_degree,
+              argv[3]);
+  return 0;
+}
+
+int cmd_lutinfo(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const lut::LookupTable table = lut::LookupTable::load(argv[2]);
+  io::AsciiTable out({"Degree", "#Index", "#Topo avg", "Size (MB)",
+                      "Gen time", "LP calls"});
+  for (const auto& [degree, st] : table.stats())
+    out.add_row({std::to_string(degree),
+                 util::with_commas(static_cast<std::int64_t>(st.indices)),
+                 util::fixed(st.avg_topologies(), 2),
+                 util::fixed(static_cast<double>(st.bytes) / 1e6, 3),
+                 util::format_duration(st.gen_seconds),
+                 util::with_commas(st.lp_calls)});
+  out.print(std::string("lookup table ") + argv[2]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "route") return cmd_route(argc, argv);
+    if (cmd == "lutgen") return cmd_lutgen(argc, argv);
+    if (cmd == "lutinfo") return cmd_lutinfo(argc, argv);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
