@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_pruning.cpp" "bench/CMakeFiles/bench_ablation_pruning.dir/bench_ablation_pruning.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_pruning.dir/bench_ablation_pruning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_exactlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_dw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_rsma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_rsmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_small.dir/bench_fig7a_small.cpp.o"
+  "CMakeFiles/bench_fig7a_small.dir/bench_fig7a_small.cpp.o.d"
+  "bench_fig7a_small"
+  "bench_fig7a_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontier_size.dir/bench_frontier_size.cpp.o"
+  "CMakeFiles/bench_frontier_size.dir/bench_frontier_size.cpp.o.d"
+  "bench_frontier_size"
+  "bench_frontier_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontier_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

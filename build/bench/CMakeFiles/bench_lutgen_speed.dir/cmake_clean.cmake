@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lutgen_speed.dir/bench_lutgen_speed.cpp.o"
+  "CMakeFiles/bench_lutgen_speed.dir/bench_lutgen_speed.cpp.o.d"
+  "bench_lutgen_speed"
+  "bench_lutgen_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lutgen_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pareto.dir/bench_micro_pareto.cpp.o"
+  "CMakeFiles/bench_micro_pareto.dir/bench_micro_pareto.cpp.o.d"
+  "bench_micro_pareto"
+  "bench_micro_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

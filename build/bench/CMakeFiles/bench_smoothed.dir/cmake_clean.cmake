@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smoothed.dir/bench_smoothed.cpp.o"
+  "CMakeFiles/bench_smoothed.dir/bench_smoothed.cpp.o.d"
+  "bench_smoothed"
+  "bench_smoothed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smoothed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nonoptimal.dir/bench_table3_nonoptimal.cpp.o"
+  "CMakeFiles/bench_table3_nonoptimal.dir/bench_table3_nonoptimal.cpp.o.d"
+  "bench_table3_nonoptimal"
+  "bench_table3_nonoptimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nonoptimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_router.dir/global_router.cpp.o"
+  "CMakeFiles/global_router.dir/global_router.cpp.o.d"
+  "global_router"
+  "global_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_explorer.dir/net_explorer.cpp.o"
+  "CMakeFiles/net_explorer.dir/net_explorer.cpp.o.d"
+  "net_explorer"
+  "net_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_baselines.dir/patlabor/baselines/pd.cpp.o"
+  "CMakeFiles/pl_baselines.dir/patlabor/baselines/pd.cpp.o.d"
+  "CMakeFiles/pl_baselines.dir/patlabor/baselines/salt.cpp.o"
+  "CMakeFiles/pl_baselines.dir/patlabor/baselines/salt.cpp.o.d"
+  "CMakeFiles/pl_baselines.dir/patlabor/baselines/ysd.cpp.o"
+  "CMakeFiles/pl_baselines.dir/patlabor/baselines/ysd.cpp.o.d"
+  "libpl_baselines.a"
+  "libpl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

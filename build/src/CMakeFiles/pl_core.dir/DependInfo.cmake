@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patlabor/core/pareto_ks.cpp" "src/CMakeFiles/pl_core.dir/patlabor/core/pareto_ks.cpp.o" "gcc" "src/CMakeFiles/pl_core.dir/patlabor/core/pareto_ks.cpp.o.d"
+  "/root/repo/src/patlabor/core/patlabor.cpp" "src/CMakeFiles/pl_core.dir/patlabor/core/patlabor.cpp.o" "gcc" "src/CMakeFiles/pl_core.dir/patlabor/core/patlabor.cpp.o.d"
+  "/root/repo/src/patlabor/core/policy.cpp" "src/CMakeFiles/pl_core.dir/patlabor/core/policy.cpp.o" "gcc" "src/CMakeFiles/pl_core.dir/patlabor/core/policy.cpp.o.d"
+  "/root/repo/src/patlabor/core/trainer.cpp" "src/CMakeFiles/pl_core.dir/patlabor/core/trainer.cpp.o" "gcc" "src/CMakeFiles/pl_core.dir/patlabor/core/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pl_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_rsmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_exactlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_dw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_rsma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_core.dir/patlabor/core/pareto_ks.cpp.o"
+  "CMakeFiles/pl_core.dir/patlabor/core/pareto_ks.cpp.o.d"
+  "CMakeFiles/pl_core.dir/patlabor/core/patlabor.cpp.o"
+  "CMakeFiles/pl_core.dir/patlabor/core/patlabor.cpp.o.d"
+  "CMakeFiles/pl_core.dir/patlabor/core/policy.cpp.o"
+  "CMakeFiles/pl_core.dir/patlabor/core/policy.cpp.o.d"
+  "CMakeFiles/pl_core.dir/patlabor/core/trainer.cpp.o"
+  "CMakeFiles/pl_core.dir/patlabor/core/trainer.cpp.o.d"
+  "libpl_core.a"
+  "libpl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_dw.dir/patlabor/dw/pareto_dw.cpp.o"
+  "CMakeFiles/pl_dw.dir/patlabor/dw/pareto_dw.cpp.o.d"
+  "libpl_dw.a"
+  "libpl_dw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_dw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_eval.dir/patlabor/eval/curves.cpp.o"
+  "CMakeFiles/pl_eval.dir/patlabor/eval/curves.cpp.o.d"
+  "CMakeFiles/pl_eval.dir/patlabor/eval/metrics.cpp.o"
+  "CMakeFiles/pl_eval.dir/patlabor/eval/metrics.cpp.o.d"
+  "libpl_eval.a"
+  "libpl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

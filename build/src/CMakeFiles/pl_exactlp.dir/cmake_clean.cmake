@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_exactlp.dir/patlabor/exactlp/dominance_prover.cpp.o"
+  "CMakeFiles/pl_exactlp.dir/patlabor/exactlp/dominance_prover.cpp.o.d"
+  "CMakeFiles/pl_exactlp.dir/patlabor/exactlp/simplex.cpp.o"
+  "CMakeFiles/pl_exactlp.dir/patlabor/exactlp/simplex.cpp.o.d"
+  "libpl_exactlp.a"
+  "libpl_exactlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_exactlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

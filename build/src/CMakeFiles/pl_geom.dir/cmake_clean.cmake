@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_geom.dir/patlabor/geom/hanan.cpp.o"
+  "CMakeFiles/pl_geom.dir/patlabor/geom/hanan.cpp.o.d"
+  "libpl_geom.a"
+  "libpl_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

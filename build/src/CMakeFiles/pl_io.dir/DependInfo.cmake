@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patlabor/io/csv.cpp" "src/CMakeFiles/pl_io.dir/patlabor/io/csv.cpp.o" "gcc" "src/CMakeFiles/pl_io.dir/patlabor/io/csv.cpp.o.d"
+  "/root/repo/src/patlabor/io/netfile.cpp" "src/CMakeFiles/pl_io.dir/patlabor/io/netfile.cpp.o" "gcc" "src/CMakeFiles/pl_io.dir/patlabor/io/netfile.cpp.o.d"
+  "/root/repo/src/patlabor/io/svg.cpp" "src/CMakeFiles/pl_io.dir/patlabor/io/svg.cpp.o" "gcc" "src/CMakeFiles/pl_io.dir/patlabor/io/svg.cpp.o.d"
+  "/root/repo/src/patlabor/io/table.cpp" "src/CMakeFiles/pl_io.dir/patlabor/io/table.cpp.o" "gcc" "src/CMakeFiles/pl_io.dir/patlabor/io/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pl_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_io.dir/patlabor/io/csv.cpp.o"
+  "CMakeFiles/pl_io.dir/patlabor/io/csv.cpp.o.d"
+  "CMakeFiles/pl_io.dir/patlabor/io/netfile.cpp.o"
+  "CMakeFiles/pl_io.dir/patlabor/io/netfile.cpp.o.d"
+  "CMakeFiles/pl_io.dir/patlabor/io/svg.cpp.o"
+  "CMakeFiles/pl_io.dir/patlabor/io/svg.cpp.o.d"
+  "CMakeFiles/pl_io.dir/patlabor/io/table.cpp.o"
+  "CMakeFiles/pl_io.dir/patlabor/io/table.cpp.o.d"
+  "libpl_io.a"
+  "libpl_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patlabor/lut/lut.cpp" "src/CMakeFiles/pl_lut.dir/patlabor/lut/lut.cpp.o" "gcc" "src/CMakeFiles/pl_lut.dir/patlabor/lut/lut.cpp.o.d"
+  "/root/repo/src/patlabor/lut/lut_io.cpp" "src/CMakeFiles/pl_lut.dir/patlabor/lut/lut_io.cpp.o" "gcc" "src/CMakeFiles/pl_lut.dir/patlabor/lut/lut_io.cpp.o.d"
+  "/root/repo/src/patlabor/lut/param_dw.cpp" "src/CMakeFiles/pl_lut.dir/patlabor/lut/param_dw.cpp.o" "gcc" "src/CMakeFiles/pl_lut.dir/patlabor/lut/param_dw.cpp.o.d"
+  "/root/repo/src/patlabor/lut/pattern.cpp" "src/CMakeFiles/pl_lut.dir/patlabor/lut/pattern.cpp.o" "gcc" "src/CMakeFiles/pl_lut.dir/patlabor/lut/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pl_dw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_exactlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

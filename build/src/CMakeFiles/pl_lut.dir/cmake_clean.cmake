@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_lut.dir/patlabor/lut/lut.cpp.o"
+  "CMakeFiles/pl_lut.dir/patlabor/lut/lut.cpp.o.d"
+  "CMakeFiles/pl_lut.dir/patlabor/lut/lut_io.cpp.o"
+  "CMakeFiles/pl_lut.dir/patlabor/lut/lut_io.cpp.o.d"
+  "CMakeFiles/pl_lut.dir/patlabor/lut/param_dw.cpp.o"
+  "CMakeFiles/pl_lut.dir/patlabor/lut/param_dw.cpp.o.d"
+  "CMakeFiles/pl_lut.dir/patlabor/lut/pattern.cpp.o"
+  "CMakeFiles/pl_lut.dir/patlabor/lut/pattern.cpp.o.d"
+  "libpl_lut.a"
+  "libpl_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patlabor/netgen/gadget.cpp" "src/CMakeFiles/pl_netgen.dir/patlabor/netgen/gadget.cpp.o" "gcc" "src/CMakeFiles/pl_netgen.dir/patlabor/netgen/gadget.cpp.o.d"
+  "/root/repo/src/patlabor/netgen/netgen.cpp" "src/CMakeFiles/pl_netgen.dir/patlabor/netgen/netgen.cpp.o" "gcc" "src/CMakeFiles/pl_netgen.dir/patlabor/netgen/netgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pl_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

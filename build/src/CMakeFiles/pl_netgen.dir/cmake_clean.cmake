@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_netgen.dir/patlabor/netgen/gadget.cpp.o"
+  "CMakeFiles/pl_netgen.dir/patlabor/netgen/gadget.cpp.o.d"
+  "CMakeFiles/pl_netgen.dir/patlabor/netgen/netgen.cpp.o"
+  "CMakeFiles/pl_netgen.dir/patlabor/netgen/netgen.cpp.o.d"
+  "libpl_netgen.a"
+  "libpl_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_pareto.dir/patlabor/pareto/curve.cpp.o"
+  "CMakeFiles/pl_pareto.dir/patlabor/pareto/curve.cpp.o.d"
+  "CMakeFiles/pl_pareto.dir/patlabor/pareto/pareto_set.cpp.o"
+  "CMakeFiles/pl_pareto.dir/patlabor/pareto/pareto_set.cpp.o.d"
+  "libpl_pareto.a"
+  "libpl_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_rsma.dir/patlabor/rsma/rsma.cpp.o"
+  "CMakeFiles/pl_rsma.dir/patlabor/rsma/rsma.cpp.o.d"
+  "libpl_rsma.a"
+  "libpl_rsma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_rsma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_rsmt.dir/patlabor/rsmt/mst.cpp.o"
+  "CMakeFiles/pl_rsmt.dir/patlabor/rsmt/mst.cpp.o.d"
+  "CMakeFiles/pl_rsmt.dir/patlabor/rsmt/rsmt.cpp.o"
+  "CMakeFiles/pl_rsmt.dir/patlabor/rsmt/rsmt.cpp.o.d"
+  "libpl_rsmt.a"
+  "libpl_rsmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_rsmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_timing.dir/patlabor/timing/elmore.cpp.o"
+  "CMakeFiles/pl_timing.dir/patlabor/timing/elmore.cpp.o.d"
+  "libpl_timing.a"
+  "libpl_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_tree.dir/patlabor/tree/refine.cpp.o"
+  "CMakeFiles/pl_tree.dir/patlabor/tree/refine.cpp.o.d"
+  "CMakeFiles/pl_tree.dir/patlabor/tree/routing_tree.cpp.o"
+  "CMakeFiles/pl_tree.dir/patlabor/tree/routing_tree.cpp.o.d"
+  "libpl_tree.a"
+  "libpl_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

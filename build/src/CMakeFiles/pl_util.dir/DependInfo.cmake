@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patlabor/util/rng.cpp" "src/CMakeFiles/pl_util.dir/patlabor/util/rng.cpp.o" "gcc" "src/CMakeFiles/pl_util.dir/patlabor/util/rng.cpp.o.d"
+  "/root/repo/src/patlabor/util/str.cpp" "src/CMakeFiles/pl_util.dir/patlabor/util/str.cpp.o" "gcc" "src/CMakeFiles/pl_util.dir/patlabor/util/str.cpp.o.d"
+  "/root/repo/src/patlabor/util/timer.cpp" "src/CMakeFiles/pl_util.dir/patlabor/util/timer.cpp.o" "gcc" "src/CMakeFiles/pl_util.dir/patlabor/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_util.dir/patlabor/util/rng.cpp.o"
+  "CMakeFiles/pl_util.dir/patlabor/util/rng.cpp.o.d"
+  "CMakeFiles/pl_util.dir/patlabor/util/str.cpp.o"
+  "CMakeFiles/pl_util.dir/patlabor/util/str.cpp.o.d"
+  "CMakeFiles/pl_util.dir/patlabor/util/timer.cpp.o"
+  "CMakeFiles/pl_util.dir/patlabor/util/timer.cpp.o.d"
+  "libpl_util.a"
+  "libpl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

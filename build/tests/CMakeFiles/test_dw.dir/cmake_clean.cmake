@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dw.dir/test_dw.cpp.o"
+  "CMakeFiles/test_dw.dir/test_dw.cpp.o.d"
+  "test_dw"
+  "test_dw.pdb"
+  "test_dw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

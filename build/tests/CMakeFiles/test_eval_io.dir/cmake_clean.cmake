@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_io.dir/test_eval_io.cpp.o"
+  "CMakeFiles/test_eval_io.dir/test_eval_io.cpp.o.d"
+  "test_eval_io"
+  "test_eval_io.pdb"
+  "test_eval_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

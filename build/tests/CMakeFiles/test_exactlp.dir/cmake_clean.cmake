@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exactlp.dir/test_exactlp.cpp.o"
+  "CMakeFiles/test_exactlp.dir/test_exactlp.cpp.o.d"
+  "test_exactlp"
+  "test_exactlp.pdb"
+  "test_exactlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exactlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

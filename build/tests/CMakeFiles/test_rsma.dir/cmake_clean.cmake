@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsma.dir/test_rsma.cpp.o"
+  "CMakeFiles/test_rsma.dir/test_rsma.cpp.o.d"
+  "test_rsma"
+  "test_rsma.pdb"
+  "test_rsma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_mod.dir/test_util_mod.cpp.o"
+  "CMakeFiles/test_util_mod.dir/test_util_mod.cpp.o.d"
+  "test_util_mod"
+  "test_util_mod.pdb"
+  "test_util_mod[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_pareto[1]_include.cmake")
+include("/root/repo/build/tests/test_exactlp[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_refine[1]_include.cmake")
+include("/root/repo/build/tests/test_rsmt[1]_include.cmake")
+include("/root/repo/build/tests/test_rsma[1]_include.cmake")
+include("/root/repo/build/tests/test_dw[1]_include.cmake")
+include("/root/repo/build/tests/test_lut[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_netgen[1]_include.cmake")
+include("/root/repo/build/tests/test_eval_io[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_util_mod[1]_include.cmake")
+include("/root/repo/build/tests/test_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patlabor_cli.dir/patlabor_cli.cpp.o"
+  "CMakeFiles/patlabor_cli.dir/patlabor_cli.cpp.o.d"
+  "patlabor_cli"
+  "patlabor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patlabor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
