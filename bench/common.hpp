@@ -10,14 +10,43 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "patlabor/obs/obs.hpp"
+#include "patlabor/obs/report.hpp"
 #include "patlabor/patlabor.hpp"
 
 namespace patlabor::bench {
 
 inline const char* kLutCachePath = "patlabor_lut_cache.bin";
+
+/// True when the PATLABOR_OBS env var (any value but "" / "0") asks benches
+/// to record telemetry; evaluated once, enabling the obs runtime before
+/// main() so every phase of the harness is covered.
+inline const bool kObsRequested = [] {
+  const char* v = std::getenv("PATLABOR_OBS");
+  const bool on = v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+  if (on) obs::set_enabled(true);
+  return on;
+}();
+
+/// Writes the phase breakdown + counters collected so far to
+/// <stem>.phases.json (see obs::report_json) when PATLABOR_OBS is set.
+/// Harnesses with a CSV stem call this once at the end; print_curve_report
+/// does it automatically.  Wall time is measured from process start.
+inline void emit_obs_report(const std::string& stem) {
+  if (!kObsRequested) return;
+  const auto events = obs::drain_trace();
+  const auto phases = obs::aggregate_phases(events);
+  const double wall = static_cast<double>(obs::now_us()) * 1e-6;
+  const std::string path = stem + ".phases.json";
+  obs::write_report_json(path, obs::StatsRegistry::instance().snapshot(),
+                         phases, wall);
+  std::printf("Phase breakdown: %s (%zu spans)\n", path.c_str(),
+              events.size());
+}
 
 /// Lookup table up to `max_degree`, loaded from the cache when the cached
 /// table is deep enough, regenerated (and re-cached) otherwise.
@@ -171,6 +200,7 @@ inline void print_curve_report(const std::string& title,
                 acc.net_count(m));
   std::printf("\nCSV: %s.csv   SVG: %s.svg\n", stem.c_str(), stem.c_str());
   io::write_file(stem + ".svg", io::curves_svg(plots));
+  emit_obs_report(stem);
 }
 
 }  // namespace patlabor::bench

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "patlabor/obs/obs.hpp"
 #include "patlabor/tree/refine.hpp"
 
 namespace patlabor::baselines {
@@ -65,6 +66,8 @@ std::vector<double> default_alphas() {
 std::vector<RoutingTree> pd_sweep(const Net& net,
                                   std::span<const double> alphas,
                                   bool refine) {
+  PL_SPAN("baseline.pd_sweep");
+  PL_COUNT("pd.trees_built", alphas.size());
   std::vector<RoutingTree> out;
   out.reserve(alphas.size());
   for (double a : alphas)

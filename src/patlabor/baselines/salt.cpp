@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "patlabor/obs/obs.hpp"
 #include "patlabor/rsmt/rsmt.hpp"
 #include "patlabor/tree/refine.hpp"
 
@@ -38,6 +39,7 @@ bool enforce_shallowness(RoutingTree& t, double epsilon) {
         t.set_parent(v, 0);  // breakpoint: connect straight to the source
         pl = direct;
         changed = true;
+        PL_COUNT("salt.breakpoints", 1);
       }
     }
     for (std::int32_t c : ch[v])
@@ -70,6 +72,8 @@ std::vector<double> default_epsilons() {
 
 std::vector<RoutingTree> salt_sweep(const Net& net,
                                     std::span<const double> epsilons) {
+  PL_SPAN("baseline.salt_sweep");
+  PL_COUNT("salt.trees_built", epsilons.size());
   std::vector<RoutingTree> out;
   out.reserve(epsilons.size());
   for (double e : epsilons) out.push_back(salt(net, e));

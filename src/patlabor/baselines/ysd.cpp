@@ -6,6 +6,7 @@
 #include "patlabor/baselines/pd.hpp"
 #include "patlabor/baselines/salt.hpp"
 #include "patlabor/geom/box.hpp"
+#include "patlabor/obs/obs.hpp"
 #include "patlabor/rsma/rsma.hpp"
 #include "patlabor/rsmt/rsmt.hpp"
 #include "patlabor/tree/refine.hpp"
@@ -56,6 +57,7 @@ void divide_edges(const Net& parent_net, const Point& global_source,
                   std::vector<Point> sinks, double beta,
                   std::vector<std::pair<Point, Point>>& edges) {
   if (sinks.empty()) return;
+  PL_COUNT("ysd.partitions", 1);
   // Local root: the sink closest to the source.
   std::size_t root_idx = 0;
   for (std::size_t i = 1; i < sinks.size(); ++i)
@@ -119,6 +121,8 @@ std::vector<double> default_betas() {
 
 std::vector<RoutingTree> ysd_sweep(const Net& net,
                                    std::span<const double> betas) {
+  PL_SPAN("baseline.ysd_sweep");
+  PL_COUNT("ysd.trees_built", betas.size());
   std::vector<RoutingTree> out;
   out.reserve(betas.size());
   if (net.degree() <= kYsdSmallDegree) {

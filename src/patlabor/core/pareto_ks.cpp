@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "patlabor/dw/pareto_dw.hpp"
+#include "patlabor/obs/obs.hpp"
 
 namespace patlabor::core {
 
@@ -23,6 +24,7 @@ struct Recursor {
     Net sub;
     sub.pins = std::move(pins);
     if (sub.degree() <= options.leaf_size || sub.degree() <= 3) {
+      PL_COUNT("ks.leaf_solves", 1);
       if (options.table != nullptr && options.table->covers(sub.degree()))
         return options.table->query(sub).trees;
       return dw::pareto_dw(sub).trees;
@@ -86,6 +88,8 @@ struct Recursor {
     std::vector<RoutingTree> kept;
     for (std::size_t i : pareto::pareto_indices(objs))
       kept.push_back(std::move(combos[i]));
+    PL_COUNT("ks.combinations", combos.size());
+    PL_COUNT("ks.combinations_kept", kept.size());
     return kept;
   }
 };
@@ -93,6 +97,7 @@ struct Recursor {
 }  // namespace
 
 ParetoKsResult pareto_ks(const Net& net, const ParetoKsOptions& options) {
+  PL_SPAN("core.pareto_ks");
   ParetoKsOptions opt = options;
   if (opt.leaf_size == 0) {
     const double lg = std::log2(static_cast<double>(net.degree()));

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "patlabor/dw/pareto_dw.hpp"
+#include "patlabor/obs/obs.hpp"
 #include "patlabor/rsma/rsma.hpp"
 #include "patlabor/rsmt/rsmt.hpp"
 #include "patlabor/tree/refine.hpp"
@@ -23,12 +24,14 @@ namespace {
 
 /// Pareto-filters a tree population by objective, in place.
 void filter_population(std::vector<RoutingTree>& trees) {
+  const std::size_t before = trees.size();
   const auto objs = tree::objectives(trees);
   std::vector<RoutingTree> kept;
   kept.reserve(trees.size());
   for (std::size_t i : pareto::pareto_indices(objs))
     kept.push_back(std::move(trees[i]));
   trees = std::move(kept);
+  PL_COUNT("search.trees_filtered", before - trees.size());
 }
 
 }  // namespace
@@ -178,12 +181,14 @@ RoutingTree regenerate_subtopology(const RoutingTree& t,
 }
 
 PatLaborResult patlabor(const Net& net, const PatLaborOptions& options) {
+  PL_SPAN("core.patlabor");
   PatLaborResult result;
   const std::size_t n = net.degree();
   const std::size_t lambda =
       std::min<std::size_t>(options.lambda, lut::kMaxLutDegree);
 
   if (n <= lambda || n <= 3) {
+    PL_COUNT("search.small_exact", 1);
     auto [frontier, trees] = exact_small_frontier(net, options.table);
     result.frontier = std::move(frontier);
     result.trees = std::move(trees);
@@ -193,6 +198,7 @@ PatLaborResult patlabor(const Net& net, const PatLaborOptions& options) {
   // ---- Local search (Section V-B) ----
   std::vector<RoutingTree> population;
   {
+    PL_SPAN("search.seed");
     RoutingTree t0 = rsmt::rsmt(net);  // FLUTE's role
     // SALT-style post-processing of the seed gives the population its
     // starting Pareto diversity; the arborescence seed anchors the
@@ -216,7 +222,9 @@ PatLaborResult patlabor(const Net& net, const PatLaborOptions& options) {
 
   const int iterations =
       options.iteration_factor * static_cast<int>(n / lambda);
+  PL_SPAN("search.local_search");
   for (int it = 0; it < iterations; ++it) {
+    PL_COUNT("search.rounds", 1);
     // Select the worst-delay tree not expanded yet.
     std::size_t pick = population.size();
     Length worst = -1;
@@ -247,16 +255,27 @@ PatLaborResult patlabor(const Net& net, const PatLaborOptions& options) {
     subnet.pins.push_back(net.source());
     for (std::size_t p : pins) subnet.pins.push_back(target.node(p));
 
-    auto [sub_frontier, sub_trees] = exact_small_frontier(subnet, options.table);
+    auto [sub_frontier, sub_trees] = [&] {
+      PL_SPAN("search.subnet_solve");
+      return exact_small_frontier(subnet, options.table);
+    }();
     (void)sub_frontier;
-    for (const RoutingTree& sub : sub_trees) {
-      for (const ReattachMode mode :
-           {ReattachMode::kNearest, ReattachMode::kDelayAware}) {
-        RoutingTree candidate = regenerate_subtopology(target, pins, sub, mode);
-        if (!candidate.validate().empty()) continue;
-        if (options.refine)
-          tree::refine(candidate, tree::RefineMode::kEither, 4);
-        population.push_back(std::move(candidate));
+    {
+      PL_SPAN("search.reattach");
+      for (const RoutingTree& sub : sub_trees) {
+        for (const ReattachMode mode :
+             {ReattachMode::kNearest, ReattachMode::kDelayAware}) {
+          RoutingTree candidate =
+              regenerate_subtopology(target, pins, sub, mode);
+          if (!candidate.validate().empty()) {
+            PL_COUNT("search.moves_rejected", 1);
+            continue;
+          }
+          if (options.refine)
+            tree::refine(candidate, tree::RefineMode::kEither, 4);
+          PL_COUNT("search.moves_accepted", 1);
+          population.push_back(std::move(candidate));
+        }
       }
     }
     filter_population(population);
@@ -278,6 +297,9 @@ std::pair<pareto::ObjVec, std::vector<RoutingTree>> exact_small_frontier(
     auto q = table->query(net);
     return {std::move(q.frontier), std::move(q.trees)};
   }
+  // A table that is present but too shallow for this degree is invisible to
+  // query(); count the skip so the stats distinguish it from "no table".
+  if (table != nullptr) PL_COUNT("lut.skipped_uncovered", 1);
   auto r = dw::pareto_dw(net);
   return {std::move(r.frontier), std::move(r.trees)};
 }

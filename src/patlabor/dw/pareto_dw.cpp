@@ -6,6 +6,7 @@
 
 #include "patlabor/geom/box.hpp"
 #include "patlabor/geom/hanan.hpp"
+#include "patlabor/obs/obs.hpp"
 
 namespace patlabor::dw {
 
@@ -73,6 +74,9 @@ class Solver {
   std::vector<NodeId> sink_node_;  // grid node of each sink
   std::vector<State> states_;
   std::uint64_t created_ = 0;
+  std::uint64_t merge_cands_ = 0;  // merge-phase candidates before filtering
+  std::uint64_t grow_cands_ = 0;   // grow-phase candidates before filtering
+  std::uint64_t kept_ = 0;         // entries surviving the Pareto filters
 };
 
 void Solver::solve_mask(std::uint32_t mask) {
@@ -119,6 +123,8 @@ void Solver::solve_mask(std::uint32_t mask) {
     for (std::size_t k : pareto::pareto_indices(objs))
       st.base.push_back(cands[k]);
     created_ += st.base.size();
+    merge_cands_ += cands.size();
+    kept_ += st.base.size();
   }
 
   // ---- Grow phase: one L1-closure round from every base set ----
@@ -145,6 +151,8 @@ void Solver::solve_mask(std::uint32_t mask) {
     for (std::size_t k : pareto::pareto_indices(objs))
       st.final_.push_back(cands[k]);
     created_ += st.final_.size();
+    grow_cands_ += cands.size();
+    kept_ += st.final_.size();
   }
 }
 
@@ -175,6 +183,7 @@ void Solver::reconstruct_final(NodeId v, std::uint32_t mask, std::int32_t idx,
 }
 
 ParetoDwResult Solver::run() {
+  PL_SPAN("dw.run");
   const std::size_t n = net_.degree();
   assert(n >= 2 && n <= 17 && "Pareto-DW is for small-degree nets");
   const std::size_t nsinks = n - 1;
@@ -215,6 +224,13 @@ ParetoDwResult Solver::run() {
       result.trees.push_back(std::move(t));
     }
   }
+  // Hot-loop tallies are accumulated locally and flushed once per solve.
+  PL_COUNT("dw.runs", 1);
+  PL_COUNT("dw.states_expanded", created_);
+  PL_COUNT("dw.merge_candidates", merge_cands_);
+  PL_COUNT("dw.grow_candidates", grow_cands_);
+  PL_COUNT("pareto.points_filtered", merge_cands_ + grow_cands_ - kept_);
+  PL_HIST("dw.frontier_size", result.frontier.size());
   return result;
 }
 

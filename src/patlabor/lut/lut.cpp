@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "patlabor/dw/pareto_dw.hpp"
+#include "patlabor/obs/obs.hpp"
 #include "patlabor/util/timer.hpp"
 
 namespace patlabor::lut {
@@ -23,6 +24,7 @@ LookupTable LookupTable::generate(int max_degree,
 
 void LookupTable::generate_degree(int degree, const ParamDwOptions& options) {
   assert(degree >= 4 && degree <= kMaxLutDegree);
+  PL_SPAN("lut.generate_degree");
   util::Timer timer;
   DegreeStats st;
 
@@ -69,6 +71,10 @@ void LookupTable::generate_degree(int degree, const ParamDwOptions& options) {
   st.gen_seconds = timer.seconds();
   stats_[degree] = st;
   max_degree_ = std::max(max_degree_, degree);
+  PL_COUNT("lut.gen_patterns", st.patterns);
+  PL_COUNT("lut.gen_indices", st.indices);
+  PL_COUNT("lut.gen_topologies", st.topologies);
+  PL_COUNT("lut.gen_lp_calls", static_cast<std::uint64_t>(st.lp_calls));
 }
 
 LookupTable::QueryResult LookupTable::query(const Net& net) const {
@@ -83,13 +89,21 @@ LookupTable::QueryResult LookupTable::query(const Net& net) const {
     out.trees = std::move(r.trees);
     return out;
   };
-  if (degree <= 3) return numeric_fallback();
+  if (degree <= 3) {
+    PL_COUNT("lut.queries_trivial", 1);
+    return numeric_fallback();
+  }
 
   std::vector<Coord> xs, ys;
   const PinPattern pat = pattern_of(net, xs, ys);
   const Canonical cj = canonical_joint(pat);
   const auto it = table_.find(cj.code);
-  if (it == table_.end()) return numeric_fallback();
+  if (it == table_.end()) {
+    PL_COUNT("lut.misses", 1);
+    return numeric_fallback();
+  }
+  PL_COUNT("lut.hits", 1);
+  PL_HIST("lut.query_topologies", it->second.size());
 
   const int n = pat.n;
   std::vector<RoutingTree> trees;

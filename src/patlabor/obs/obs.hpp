@@ -1,0 +1,75 @@
+// Observability umbrella: instrumentation macros over stats.hpp/trace.hpp.
+//
+// Two gates, both off-by-default at runtime:
+//   * compile time — the PATLABOR_OBS CMake option (ON by default) defines
+//     PATLABOR_OBS=1; without it every macro below expands to nothing and
+//     instrumented code is byte-identical to uninstrumented code;
+//   * run time — obs::set_enabled(true) (one relaxed atomic load per site
+//     when compiled in but disabled).
+//
+// Conventions (see DESIGN.md "Observability"):
+//   * counters / histograms: dotted lowercase "subsystem.metric"
+//     (dw.states_expanded, lut.hits, search.moves_accepted, ...);
+//   * spans: phase granularity only — a solver run, a net, a generation
+//     pass — never inner loops; hot loops accumulate locally and flush one
+//     PL_COUNT at scope exit.
+#pragma once
+
+#include "patlabor/obs/stats.hpp"
+#include "patlabor/obs/trace.hpp"
+
+#if defined(PATLABOR_OBS) && PATLABOR_OBS
+#define PATLABOR_OBS_ENABLED 1
+#else
+#define PATLABOR_OBS_ENABLED 0
+#endif
+
+namespace patlabor::obs {
+
+/// True when instrumentation was compiled in (PATLABOR_OBS build option).
+constexpr bool compiled_in() { return PATLABOR_OBS_ENABLED != 0; }
+
+}  // namespace patlabor::obs
+
+#if PATLABOR_OBS_ENABLED
+
+#define PL_OBS_CONCAT_(a, b) a##b
+#define PL_OBS_CONCAT(a, b) PL_OBS_CONCAT_(a, b)
+
+/// RAII scoped trace span; `name` must be a string literal.
+#define PL_SPAN(name) \
+  ::patlabor::obs::TraceSpan PL_OBS_CONCAT(pl_obs_span_, __LINE__)(name)
+
+/// Adds `n` to the named counter (registered on first enabled hit).
+#define PL_COUNT(name, n)                                          \
+  do {                                                             \
+    if (::patlabor::obs::enabled()) {                              \
+      static ::patlabor::obs::Counter& pl_obs_c =                  \
+          ::patlabor::obs::StatsRegistry::instance().counter(name); \
+      pl_obs_c.add(static_cast<std::uint64_t>(n));                 \
+    }                                                              \
+  } while (0)
+
+/// Records `v` into the named histogram.
+#define PL_HIST(name, v)                                             \
+  do {                                                               \
+    if (::patlabor::obs::enabled()) {                                \
+      static ::patlabor::obs::Histogram& pl_obs_h =                  \
+          ::patlabor::obs::StatsRegistry::instance().histogram(name); \
+      pl_obs_h.record(static_cast<std::uint64_t>(v));                \
+    }                                                                \
+  } while (0)
+
+#else
+
+#define PL_SPAN(name) \
+  do {                \
+  } while (0)
+#define PL_COUNT(name, n) \
+  do {                    \
+  } while (0)
+#define PL_HIST(name, v) \
+  do {                   \
+  } while (0)
+
+#endif  // PATLABOR_OBS_ENABLED

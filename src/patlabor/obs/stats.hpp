@@ -1,0 +1,105 @@
+// Process-wide statistics registry: named monotonic counters and value
+// histograms with thread-safe (lock-free) increments.
+//
+// Instrumentation sites use the PL_COUNT / PL_HIST macros from obs.hpp,
+// which compile to nothing when the PATLABOR_OBS build option is off and
+// check the runtime enable flag (obs::enabled()) otherwise.  Handles
+// returned by counter()/histogram() have stable addresses for the process
+// lifetime, so sites may cache them in function-local statics.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace patlabor::obs {
+
+/// Monotonic counter; add() is a relaxed atomic increment.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Log2-bucketed value histogram: bucket i counts values with bit width i
+/// (0, then [2^(i-1), 2^i)).  All updates are relaxed atomics.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bit_width of uint64 is 0..64
+
+  struct Summary {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  // 0 when count == 0
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  void record(std::uint64_t v) noexcept;
+  Summary summary() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time copy of every registered metric, keyed by name.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, Histogram::Summary> histograms;
+};
+
+/// Registry of named metrics.  Registration takes a mutex; increments on
+/// the returned handles are lock-free.
+class StatsRegistry {
+ public:
+  static StatsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+
+  /// Zeroes every metric.  Registrations (and handle addresses) survive.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> hists_;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Runtime master switch, off by default.  Gates both span recording and
+/// the PL_COUNT / PL_HIST macros; reading it is a relaxed atomic load.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+}  // namespace patlabor::obs

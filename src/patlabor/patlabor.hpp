@@ -33,6 +33,9 @@
 #include "patlabor/lut/lut.hpp"
 #include "patlabor/netgen/gadget.hpp"
 #include "patlabor/netgen/netgen.hpp"
+#include "patlabor/obs/json.hpp"
+#include "patlabor/obs/obs.hpp"
+#include "patlabor/obs/report.hpp"
 #include "patlabor/pareto/curve.hpp"
 #include "patlabor/pareto/pareto_set.hpp"
 #include "patlabor/rsma/rsma.hpp"

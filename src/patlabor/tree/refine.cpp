@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "patlabor/geom/box.hpp"
+#include "patlabor/obs/obs.hpp"
 
 namespace patlabor::tree {
 
@@ -77,6 +78,7 @@ struct DelayOracle {
 
 Length steinerize(RoutingTree& t) {
   Length saved = 0;
+  std::uint64_t merges = 0;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -110,11 +112,13 @@ Length steinerize(RoutingTree& t) {
         t.set_parent(bi, static_cast<std::int32_t>(s));
         t.set_parent(bj, static_cast<std::int32_t>(s));
         saved += best_gain;
+        ++merges;
         changed = true;
         break;  // children lists are stale; rescan
       }
     }
   }
+  PL_COUNT("refine.steiner_merges", merges);
   return saved;
 }
 
@@ -145,6 +149,7 @@ bool edge_substitution_pass(RoutingTree& t, RefineMode mode) {
     Length w = 0, d = 0;
   };
   bool have_move = false;
+  std::uint64_t evaluated = 0;  // flushed once per pass, not per candidate
   Move best;
   // Preference: maximize the summed improvement.
   auto better = [&](const Move& m) {
@@ -159,6 +164,7 @@ bool edge_substitution_pass(RoutingTree& t, RefineMode mode) {
     // Candidate 1: re-parent to any node outside subtree(v).
     for (std::size_t u = 0; u < t.num_nodes(); ++u) {
       if (u == old_parent || t.in_subtree(u, v)) continue;
+      ++evaluated;
       const Length len = geom::l1(t.node(v), t.node(u));
       const Length w = w0 - old_len + len;
       const Length delta = (oracle.pl[u] + len) - oracle.pl[v];
@@ -184,6 +190,7 @@ bool edge_substitution_pass(RoutingTree& t, RefineMode mode) {
       bb.expand(t.node(p));
       const Point q = bb.project(t.node(v));
       if (q == t.node(c) || q == t.node(p)) continue;  // covered by case 1
+      ++evaluated;
       const Length len = geom::l1(t.node(v), q);
       const Length w = w0 - old_len + len;
       const Length pl_q = oracle.pl[p] + geom::l1(t.node(p), q);
@@ -199,7 +206,9 @@ bool edge_substitution_pass(RoutingTree& t, RefineMode mode) {
     }
   }
 
+  PL_COUNT("refine.moves_evaluated", evaluated);
   if (!have_move) return false;
+  PL_COUNT("refine.moves_accepted", 1);
   if (best.via_edge) {
     const auto c = best.attach_edge_child;
     const auto p = t.parent(c);

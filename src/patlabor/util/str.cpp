@@ -1,6 +1,9 @@
 #include "patlabor/util/str.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +47,43 @@ std::vector<std::string> split(const std::string& s, char delim) {
     start = pos + 1;
   }
   return out;
+}
+
+namespace {
+
+template <class T>
+std::optional<T> parse_integer(std::string_view s) {
+  T v{};
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v, 10);
+  if (ec != std::errc{} || ptr != end || s.empty()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  return parse_integer<std::uint64_t>(s);
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+  return parse_integer<std::int64_t>(s);
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  // strtod accepts leading whitespace, "inf"/"nan" and hex floats; reject
+  // the whitespace form explicitly and require full consumption.
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s.front())))
+    return std::nullopt;
+  const std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE ||
+      !std::isfinite(v))
+    return std::nullopt;
+  return v;
 }
 
 double repro_scale() {

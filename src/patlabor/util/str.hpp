@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace patlabor::util {
@@ -18,6 +20,13 @@ std::string percent(double ratio);
 
 /// Splits on a delimiter; empty fields preserved.
 std::vector<std::string> split(const std::string& s, char delim);
+
+/// Strict full-string numeric parsers: nullopt on empty input, any
+/// leading/trailing junk, overflow, or (for the unsigned variant) a minus
+/// sign — unlike atoll/atof, which silently return 0.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+std::optional<std::int64_t> parse_i64(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
 
 /// Reads environment variable REPRO_SCALE (default 1.0, clamped to
 /// [1e-4, 1e4]); experiment harnesses multiply instance counts by it.

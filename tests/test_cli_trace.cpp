@@ -1,0 +1,99 @@
+// End-to-end check of `patlabor_cli route --stats --trace`: generates a tiny
+// net file with the CLI itself, routes it with tracing on, and validates the
+// resulting Chrome trace JSON with the in-tree parser.  Registered directly
+// in CMake (not gtest) so it can receive the CLI path as argv[1].
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "patlabor/obs/json.hpp"
+#include "patlabor/obs/obs.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) return;
+  std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  ++g_failures;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int run(const std::string& cmd) {
+  std::printf("$ %s\n", cmd.c_str());
+  std::fflush(stdout);
+  return std::system(cmd.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: test_cli_trace <patlabor_cli path>\n");
+    return 2;
+  }
+  const std::string cli = argv[1];
+  const std::string nets = "cli_trace_test.nets";
+  const std::string trace = "cli_trace_test.trace.json";
+  std::remove(trace.c_str());
+
+  check(run("\"" + cli + "\" gen uniform 3 5 " + nets + " 7") == 0,
+        "gen command succeeds");
+  check(run("\"" + cli + "\" route " + nets + " --stats --trace " + trace) ==
+            0,
+        "route --stats --trace succeeds");
+
+  // Bad arguments must be rejected with a nonzero exit, not parsed as 0.
+  check(run("\"" + cli + "\" gen uniform 3x 5 " + nets) != 0,
+        "non-numeric count rejected");
+  check(run("\"" + cli + "\" route " + nets + " --lambda -2") != 0,
+        "negative lambda rejected");
+
+  const std::string text = read_file(trace);
+  check(!text.empty(), "trace file written and non-empty");
+
+  const auto parsed = patlabor::obs::json::parse(text);
+  check(parsed.has_value(), "trace file is valid JSON");
+  if (parsed.has_value()) {
+    check(parsed->is_object(), "trace root is an object");
+    const auto* events = parsed->find("traceEvents");
+    check(events != nullptr && events->is_array(),
+          "trace has a traceEvents array");
+    std::size_t complete = 0;
+    bool saw_route_span = false;
+    if (events != nullptr && events->is_array()) {
+      for (const auto& e : events->arr) {
+        if (!e.is_object()) continue;
+        const auto* ph = e.find("ph");
+        const auto* name = e.find("name");
+        const auto* dur = e.find("dur");
+        if (ph != nullptr && ph->is_string() && ph->str == "X" &&
+            dur != nullptr && dur->number >= 0.0)
+          ++complete;
+        if (name != nullptr && name->is_string() && name->str == "cli.route")
+          saw_route_span = true;
+      }
+    }
+    // In a -DPATLABOR_OBS=OFF build the spans compile away: the file is
+    // still valid JSON but the traceEvents array is empty.
+    if (patlabor::obs::compiled_in()) {
+      check(complete >= 1,
+            "trace contains at least one complete (ph=X) span");
+      check(saw_route_span, "trace contains the cli.route root span");
+    } else {
+      std::printf("built without PATLABOR_OBS; skipping span checks\n");
+    }
+  }
+
+  if (g_failures == 0) std::printf("test_cli_trace: all checks passed\n");
+  return g_failures == 0 ? 0 : 1;
+}

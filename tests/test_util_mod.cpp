@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
 #include <set>
 
 #include "patlabor/util/rng.hpp"
@@ -111,6 +112,59 @@ TEST(Timer, FormatDuration) {
   EXPECT_EQ(util::format_duration(4.9), "4.9s");
   EXPECT_EQ(util::format_duration(276.0), "4.6min");
   EXPECT_EQ(util::format_duration(4.68 * 3600), "4.68h");
+}
+
+TEST(Timer, FormatDurationEdgeCases) {
+  EXPECT_EQ(util::format_duration(0.0), "0ms");
+  EXPECT_EQ(util::format_duration(0.0004), "0ms");   // sub-millisecond rounds
+  EXPECT_EQ(util::format_duration(0.0006), "1ms");
+  EXPECT_EQ(util::format_duration(0.0994), "99ms");  // last ms-formatted value
+  EXPECT_EQ(util::format_duration(0.0995), "0.1s");
+  EXPECT_EQ(util::format_duration(59.99), "60.0s");
+  EXPECT_EQ(util::format_duration(60.0), "1.0min");
+  EXPECT_EQ(util::format_duration(3599.0), "60.0min");
+  EXPECT_EQ(util::format_duration(3600.0), "1.00h");
+  EXPECT_EQ(util::format_duration(16848.0), "4.68h");  // paper-style Table II
+}
+
+TEST(Str, ParseU64) {
+  EXPECT_EQ(util::parse_u64("0"), 0u);
+  EXPECT_EQ(util::parse_u64("42"), 42u);
+  EXPECT_EQ(util::parse_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(util::parse_u64(""));
+  EXPECT_FALSE(util::parse_u64("-1"));
+  EXPECT_FALSE(util::parse_u64("12x"));
+  EXPECT_FALSE(util::parse_u64("x12"));
+  EXPECT_FALSE(util::parse_u64(" 12"));
+  EXPECT_FALSE(util::parse_u64("12 "));
+  EXPECT_FALSE(util::parse_u64("1.5"));
+  EXPECT_FALSE(util::parse_u64("18446744073709551616"));  // overflow
+}
+
+TEST(Str, ParseI64) {
+  EXPECT_EQ(util::parse_i64("-42"), -42);
+  EXPECT_EQ(util::parse_i64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(util::parse_i64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE(util::parse_i64("9223372036854775808"));  // overflow
+  EXPECT_FALSE(util::parse_i64("--1"));
+  EXPECT_FALSE(util::parse_i64("+1"));  // from_chars rejects leading '+'
+  EXPECT_FALSE(util::parse_i64(""));
+}
+
+TEST(Str, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*util::parse_double("4.5"), 4.5);
+  EXPECT_DOUBLE_EQ(*util::parse_double("-1.5e2"), -150.0);
+  EXPECT_DOUBLE_EQ(*util::parse_double("0"), 0.0);
+  EXPECT_FALSE(util::parse_double(""));
+  EXPECT_FALSE(util::parse_double("abc"));
+  EXPECT_FALSE(util::parse_double("1.5x"));
+  EXPECT_FALSE(util::parse_double(" 1.5"));
+  EXPECT_FALSE(util::parse_double("nan"));
+  EXPECT_FALSE(util::parse_double("inf"));
+  EXPECT_FALSE(util::parse_double("1e999"));  // out of range
 }
 
 TEST(Timer, MeasuresElapsedTime) {

@@ -3,22 +3,34 @@
 //   patlabor_cli gen  <uniform|clustered|smoothed> <count> <degree> <out.nets>
 //                     [seed] [kappa]
 //   patlabor_cli route <in.nets> [--lut <path>] [--lambda N] [--csv <out.csv>]
-//   patlabor_cli lutgen <max_degree> <out.bin>
+//                      [--stats] [--trace <out.json>]
+//   patlabor_cli lutgen <max_degree> <out.bin> [--stats] [--trace <out.json>]
 //   patlabor_cli lutinfo <table.bin>
+//
+// --stats prints a per-phase time table plus every counter/histogram after
+// the command; --trace additionally writes Chrome trace_event JSON openable
+// in chrome://tracing or https://ui.perfetto.dev.  Either flag enables the
+// observability runtime (see src/patlabor/obs/).
 //
 // Net file format: see src/patlabor/io/netfile.hpp.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "patlabor/obs/obs.hpp"
+#include "patlabor/obs/report.hpp"
 #include "patlabor/patlabor.hpp"
 
 namespace {
 
 using namespace patlabor;
+
+/// Bad command line: message plus usage text, exit code 2.
+struct CliError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 int usage() {
   std::fprintf(
@@ -27,22 +39,86 @@ int usage() {
       "  patlabor_cli gen <uniform|clustered|smoothed> <count> <degree> "
       "<out.nets> [seed] [kappa]\n"
       "  patlabor_cli route <in.nets> [--lut <path>] [--lambda N] "
-      "[--csv <out.csv>]\n"
-      "  patlabor_cli lutgen <max_degree> <out.bin>\n"
+      "[--csv <out.csv>] [--stats] [--trace <out.json>]\n"
+      "  patlabor_cli lutgen <max_degree> <out.bin> [--stats] "
+      "[--trace <out.json>]\n"
       "  patlabor_cli lutinfo <table.bin>\n");
   return 2;
 }
 
+std::uint64_t parse_count(const char* arg, const char* what,
+                          std::uint64_t min_value = 0) {
+  const auto v = util::parse_u64(arg);
+  if (!v)
+    throw CliError(std::string("invalid ") + what + " '" + arg +
+                   "' (expected a non-negative integer)");
+  if (*v < min_value)
+    throw CliError(std::string(what) + " must be at least " +
+                   std::to_string(min_value) + " (got '" + arg + "')");
+  return *v;
+}
+
+double parse_real(const char* arg, const char* what) {
+  const auto v = util::parse_double(arg);
+  if (!v)
+    throw CliError(std::string("invalid ") + what + " '" + arg +
+                   "' (expected a number)");
+  return *v;
+}
+
+/// Shared --stats/--trace handling: enables the obs runtime up front,
+/// prints/writes the collected telemetry at scope exit.
+class ObsSession {
+ public:
+  ObsSession(bool stats, std::string trace_path)
+      : stats_(stats), trace_path_(std::move(trace_path)) {
+    if (!active()) return;
+    if (!obs::compiled_in())
+      std::fprintf(stderr,
+                   "warning: built without PATLABOR_OBS; --stats/--trace "
+                   "will report nothing\n");
+    obs::StatsRegistry::instance().reset();
+    obs::clear_trace();
+    obs::set_enabled(true);
+  }
+
+  bool active() const { return stats_ || !trace_path_.empty(); }
+
+  /// Call after the root span has closed.
+  void finish() {
+    if (!active()) return;
+    obs::set_enabled(false);
+    const auto events = obs::drain_trace();
+    const auto phases = obs::aggregate_phases(events);
+    if (stats_)
+      obs::print_report(obs::StatsRegistry::instance().snapshot(), phases,
+                        timer_.seconds());
+    if (!trace_path_.empty()) {
+      obs::write_trace_json(trace_path_, events);
+      std::printf("trace written to %s (%zu spans)\n", trace_path_.c_str(),
+                  events.size());
+    }
+  }
+
+ private:
+  bool stats_;
+  std::string trace_path_;
+  util::Timer timer_;
+};
+
 int cmd_gen(int argc, char** argv) {
   if (argc < 6) return usage();
   const std::string kind = argv[2];
-  const auto count = static_cast<std::size_t>(std::atoll(argv[3]));
-  const auto degree = static_cast<std::size_t>(std::atoll(argv[4]));
+  const auto count = static_cast<std::size_t>(
+      parse_count(argv[3], "net count", /*min_value=*/1));
+  const auto degree = static_cast<std::size_t>(
+      parse_count(argv[4], "degree", /*min_value=*/2));
   const std::string out = argv[5];
-  const std::uint64_t seed =
-      argc >= 7 ? static_cast<std::uint64_t>(std::atoll(argv[6])) : 1;
-  const double kappa = argc >= 8 ? std::atof(argv[7]) : 4.0;
-  if (count == 0 || degree < 2) return usage();
+  const std::uint64_t seed = argc >= 7 ? parse_count(argv[6], "seed") : 1;
+  const double kappa = argc >= 8 ? parse_real(argv[7], "kappa") : 4.0;
+  if (kind != "uniform" && kind != "clustered" && kind != "smoothed")
+    throw CliError("unknown net kind '" + kind +
+                   "' (expected uniform, clustered or smoothed)");
 
   util::Rng rng(seed);
   std::vector<geom::Net> nets;
@@ -53,10 +129,8 @@ int cmd_gen(int argc, char** argv) {
       net = netgen::uniform_net(rng, degree);
     } else if (kind == "clustered") {
       net = netgen::clustered_net(rng, degree);
-    } else if (kind == "smoothed") {
-      net = netgen::smoothed_net(rng, degree, kappa);
     } else {
-      return usage();
+      net = netgen::smoothed_net(rng, degree, kappa);
     }
     net.name = kind + "_" + std::to_string(i);
     nets.push_back(std::move(net));
@@ -70,68 +144,108 @@ int cmd_gen(int argc, char** argv) {
 int cmd_route(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string in = argv[2];
-  std::string lut_path, csv_path;
+  std::string lut_path, csv_path, trace_path;
+  bool stats = false;
   std::size_t lambda = 9;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lut") == 0 && i + 1 < argc) {
       lut_path = argv[++i];
     } else if (std::strcmp(argv[i], "--lambda") == 0 && i + 1 < argc) {
-      lambda = static_cast<std::size_t>(std::atoll(argv[++i]));
+      lambda = static_cast<std::size_t>(
+          parse_count(argv[++i], "lambda", /*min_value=*/1));
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       return usage();
     }
   }
 
-  lut::LookupTable table;
-  const bool have_table = !lut_path.empty();
-  if (have_table) table = lut::LookupTable::load(lut_path);
-
-  const auto nets = io::read_nets(in);
-  core::PatLaborOptions opt;
-  opt.lambda = lambda;
-  if (have_table) opt.table = &table;
-
-  std::unique_ptr<io::CsvWriter> csv;
-  if (!csv_path.empty())
-    csv = std::make_unique<io::CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"net", "degree", "wirelength", "delay"});
-
+  ObsSession obs_session(stats, trace_path);
   util::Timer timer;
-  std::size_t points = 0;
-  for (const geom::Net& net : nets) {
-    const auto r = core::patlabor(net, opt);
-    std::printf("%s (degree %zu): %zu frontier points\n",
-                net.name.empty() ? "<net>" : net.name.c_str(), net.degree(),
-                r.frontier.size());
-    for (const auto& s : r.frontier) {
-      std::printf("  w=%lld d=%lld\n", static_cast<long long>(s.w),
-                  static_cast<long long>(s.d));
-      if (csv) csv->row({net.name, std::to_string(net.degree()),
-                         io::CsvWriter::num(static_cast<long long>(s.w)),
-                         io::CsvWriter::num(static_cast<long long>(s.d))});
-      ++points;
+  std::size_t points = 0, net_count = 0;
+  {
+    PL_SPAN("cli.route");
+
+    lut::LookupTable table;
+    const bool have_table = !lut_path.empty();
+    if (have_table) {
+      PL_SPAN("lut.load");
+      table = lut::LookupTable::load(lut_path);
+    }
+
+    std::vector<geom::Net> nets;
+    {
+      PL_SPAN("io.read_nets");
+      nets = io::read_nets(in);
+    }
+    net_count = nets.size();
+    core::PatLaborOptions opt;
+    opt.lambda = lambda;
+    if (have_table) opt.table = &table;
+
+    std::unique_ptr<io::CsvWriter> csv;
+    if (!csv_path.empty())
+      csv = std::make_unique<io::CsvWriter>(
+          csv_path,
+          std::vector<std::string>{"net", "degree", "wirelength", "delay"});
+
+    for (const geom::Net& net : nets) {
+      const auto r = core::patlabor(net, opt);
+      std::printf("%s (degree %zu): %zu frontier points\n",
+                  net.name.empty() ? "<net>" : net.name.c_str(), net.degree(),
+                  r.frontier.size());
+      for (const auto& s : r.frontier) {
+        std::printf("  w=%lld d=%lld\n", static_cast<long long>(s.w),
+                    static_cast<long long>(s.d));
+        if (csv) csv->row({net.name, std::to_string(net.degree()),
+                           io::CsvWriter::num(static_cast<long long>(s.w)),
+                           io::CsvWriter::num(static_cast<long long>(s.d))});
+        ++points;
+      }
     }
   }
-  std::printf("routed %zu nets (%zu frontier points) in %s\n", nets.size(),
+  std::printf("routed %zu nets (%zu frontier points) in %s\n", net_count,
               points, util::format_duration(timer.seconds()).c_str());
+  obs_session.finish();
   return 0;
 }
 
 int cmd_lutgen(int argc, char** argv) {
   if (argc < 4) return usage();
-  const int max_degree = std::atoi(argv[2]);
-  if (max_degree < 4 || max_degree > lut::kMaxLutDegree) {
-    std::fprintf(stderr, "max_degree must be in [4, %d]\n",
-                 lut::kMaxLutDegree);
-    return 2;
+  const auto max_degree = static_cast<int>(
+      parse_count(argv[2], "max_degree", /*min_value=*/4));
+  if (max_degree > lut::kMaxLutDegree)
+    throw CliError("max_degree must be in [4, " +
+                   std::to_string(lut::kMaxLutDegree) + "]");
+  const std::string out = argv[3];
+  std::string trace_path;
+  bool stats = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      return usage();
+    }
   }
-  const lut::LookupTable table = lut::LookupTable::generate(max_degree);
-  table.save(argv[3]);
+
+  ObsSession obs_session(stats, trace_path);
+  {
+    PL_SPAN("cli.lutgen");
+    const lut::LookupTable table = lut::LookupTable::generate(max_degree);
+    {
+      PL_SPAN("lut.save");
+      table.save(out);
+    }
+  }
   std::printf("lookup table (degrees 4..%d) saved to %s\n", max_degree,
-              argv[3]);
+              out.c_str());
+  obs_session.finish();
   return 0;
 }
 
@@ -161,6 +275,9 @@ int main(int argc, char** argv) {
     if (cmd == "route") return cmd_route(argc, argv);
     if (cmd == "lutgen") return cmd_lutgen(argc, argv);
     if (cmd == "lutinfo") return cmd_lutinfo(argc, argv);
+    return usage();
+  } catch (const CliError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
