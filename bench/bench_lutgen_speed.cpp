@@ -6,48 +6,88 @@
 // FLUTE's generator is not available offline, so we measure OUR per-core
 // throughput and report the ratio against FLUTE's published rate — the
 // same cross-paper comparison the authors make.
+//
+// Each degree is generated twice — on a 1-thread pool and on a
+// PATLABOR_BENCH_JOBS-thread pool (default 4) — to measure the parallel
+// LUT-generation speedup; the two tables must hash identically (the
+// determinism contract of src/patlabor/par/).
 #include "common.hpp"
 
 int main() {
   using namespace patlabor;
   const int max_degree =
       std::min(7, std::max(5, bench::env_int("PATLABOR_SPEED_MAXDEG", 6)));
+  const auto bench_jobs = static_cast<std::size_t>(
+      std::max(1, bench::env_int("PATLABOR_BENCH_JOBS", 4)));
 
-  io::AsciiTable table({"Degree", "Topologies", "Time", "Topo/s",
-                        "x FLUTE rate"});
+  io::AsciiTable table({"Degree", "Topologies", "T(1 job)",
+                        "T(" + std::to_string(bench_jobs) + " jobs)",
+                        "Speedup", "Topo/s", "x FLUTE rate"});
   io::CsvWriter csv("lutgen_speed.csv",
-                    {"degree", "topologies", "seconds", "topo_per_sec"});
+                    {"degree", "topologies", "seconds", "topo_per_sec",
+                     "seconds_par", "jobs", "speedup"});
+  bench::BenchJsonWriter json("lutgen_speed");
 
   constexpr double kFluteRate = 4.5e5 / (58.2 * 3600.0);  // topologies/s
 
-  double total_topos = 0, total_time = 0;
+  par::ThreadPool pool1(1);
+  par::ThreadPool poolN(bench_jobs);
+
+  double total_topos = 0, total_time1 = 0, total_timeN = 0;
+  bool deterministic = true;
   for (int degree = 5; degree <= max_degree; ++degree) {
-    lut::LookupTable lut;
-    util::Timer timer;
-    lut.generate_degree(degree);
-    const double secs = timer.seconds();
-    const auto& st = lut.stats().at(degree);
-    const double rate = static_cast<double>(st.topologies) / secs;
+    lut::LookupTable seq;
+    util::Timer t1;
+    seq.generate_degree(degree, {}, &pool1);
+    const double secs1 = t1.seconds();
+
+    lut::LookupTable par_lut;
+    util::Timer tn;
+    par_lut.generate_degree(degree, {}, &poolN);
+    const double secsN = tn.seconds();
+
+    deterministic &= seq.content_hash() == par_lut.content_hash();
+
+    const auto& st = seq.stats().at(degree);
+    const double rate = static_cast<double>(st.topologies) / secs1;
+    const double speedup = secs1 / secsN;
     table.add_row({std::to_string(degree),
                    util::with_commas(static_cast<std::int64_t>(st.topologies)),
-                   util::format_duration(secs), util::fixed(rate, 1),
-                   util::fixed(rate / kFluteRate, 0)});
+                   util::format_duration(secs1),
+                   util::format_duration(secsN), util::fixed(speedup, 2),
+                   util::fixed(rate, 1), util::fixed(rate / kFluteRate, 0)});
     csv.row({std::to_string(degree), std::to_string(st.topologies),
-             io::CsvWriter::num(secs), io::CsvWriter::num(rate)});
+             io::CsvWriter::num(secs1), io::CsvWriter::num(rate),
+             io::CsvWriter::num(secsN),
+             std::to_string(bench_jobs), io::CsvWriter::num(speedup)});
+    json.add_run("deg" + std::to_string(degree) + "_jobs1", 1, secs1, 0,
+                 {{"degree", degree}, {"topologies",
+                   static_cast<double>(st.topologies)}});
+    json.add_run("deg" + std::to_string(degree) + "_jobs" +
+                     std::to_string(bench_jobs),
+                 bench_jobs, secsN, 0,
+                 {{"degree", degree}, {"speedup", speedup}});
     total_topos += static_cast<double>(st.topologies);
-    total_time += secs;
+    total_time1 += secs1;
+    total_timeN += secsN;
   }
   table.add_separator();
-  const double rate = total_topos / total_time;
+  const double rate = total_topos / total_time1;
   table.add_row({"Total", util::with_commas(
                      static_cast<std::int64_t>(total_topos)),
-                 util::format_duration(total_time), util::fixed(rate, 1),
-                 util::fixed(rate / kFluteRate, 0)});
+                 util::format_duration(total_time1),
+                 util::format_duration(total_timeN),
+                 util::fixed(total_time1 / total_timeN, 2),
+                 util::fixed(rate, 1), util::fixed(rate / kFluteRate, 0)});
 
-  table.print("\n[Sec VI-B] lookup-table generation throughput (single "
-              "core) vs FLUTE's published 2.1 topologies/s");
-  std::printf("\nPaper claims ~441x per-topology speedup over FLUTE "
+  table.print("\n[Sec VI-B] lookup-table generation throughput (1 thread "
+              "vs " + std::to_string(bench_jobs) +
+              ") vs FLUTE's published 2.1 topologies/s");
+  std::printf("\nTables bit-identical across thread counts: %s\n",
+              deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+  std::printf("Paper claims ~441x per-topology speedup over FLUTE "
               "(its own table is richer per entry: source-dependent, "
               "bi-objective).\nCSV: lutgen_speed.csv\n");
-  return 0;
+  json.write();
+  return deterministic ? 0 : 1;
 }

@@ -1,0 +1,89 @@
+// Batch-routing throughput: the multi-net serving path (core::route_batch).
+//
+// Routes one mixed-degree netlist — the shape of a global-router handoff:
+// mostly small nets, a tail of high-degree local-search nets — on a
+// 1-thread pool and on a PATLABOR_BENCH_JOBS-thread pool (default 4), and
+// checks the two frontier sets are bit-identical (the determinism contract
+// of src/patlabor/par/).
+#include "common.hpp"
+
+int main() {
+  using namespace patlabor;
+  const auto bench_jobs = static_cast<std::size_t>(
+      std::max(1, bench::env_int("PATLABOR_BENCH_JOBS", 4)));
+  const std::size_t lambda = 7;  // subnets hit the cached degree-6 table
+
+  const lut::LookupTable table = bench::cached_lut(6);
+
+  // Mixed workload: degree-degree proportions loosely following Table III
+  // (small nets dominate), plus local-search nets up to degree 24.
+  std::vector<geom::Net> nets;
+  util::Rng rng(41);
+  const std::size_t small = util::scaled_count(24);
+  const std::size_t large = util::scaled_count(12);
+  for (std::size_t i = 0; i < small; ++i)
+    nets.push_back(netgen::clustered_net(rng, 4 + i % 6));  // degrees 4..9
+  for (std::size_t i = 0; i < large; ++i)
+    nets.push_back(netgen::clustered_net(rng, 12 + (i * 4) % 13));
+
+  auto route_all = [&](std::size_t jobs) {
+    core::BatchOptions opt;
+    opt.route.table = &table;
+    opt.route.lambda = lambda;
+    opt.jobs = jobs;
+    util::Timer timer;
+    auto results = core::route_batch(nets, opt);
+    return std::make_pair(std::move(results), timer.seconds());
+  };
+
+  auto [seq, secs1] = route_all(1);
+  auto [par_r, secsN] = route_all(bench_jobs);
+  // Second N-thread pass: run-to-run stability, not just 1-vs-N.
+  auto [par2, secsN2] = route_all(bench_jobs);
+
+  bool identical = seq.size() == par_r.size() && par_r.size() == par2.size();
+  std::size_t points = 0;
+  for (std::size_t i = 0; identical && i < seq.size(); ++i) {
+    identical = seq[i].frontier == par_r[i].frontier &&
+                seq[i].frontier == par2[i].frontier &&
+                seq[i].iterations == par_r[i].iterations;
+    points += seq[i].frontier.size();
+  }
+
+  const double speedup = secs1 / secsN;
+  io::AsciiTable out({"Jobs", "Nets", "Frontier pts", "Wall", "Nets/s",
+                      "Speedup"});
+  out.add_row({"1", std::to_string(nets.size()), std::to_string(points),
+               util::format_duration(secs1),
+               util::fixed(static_cast<double>(nets.size()) / secs1, 2),
+               "1.00"});
+  out.add_row({std::to_string(bench_jobs), std::to_string(nets.size()),
+               std::to_string(points), util::format_duration(secsN),
+               util::fixed(static_cast<double>(nets.size()) / secsN, 2),
+               util::fixed(speedup, 2)});
+  out.print("\nBatch routing throughput (core::route_batch, lambda=" +
+            std::to_string(lambda) + ")");
+  std::printf("\nOutputs bit-identical across jobs 1/%zu/%zu(rerun): %s\n",
+              bench_jobs, bench_jobs,
+              identical ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  io::CsvWriter csv("route_batch.csv",
+                    {"jobs", "nets", "frontier_points", "seconds",
+                     "nets_per_sec"});
+  csv.row({"1", std::to_string(nets.size()), std::to_string(points),
+           io::CsvWriter::num(secs1),
+           io::CsvWriter::num(static_cast<double>(nets.size()) / secs1)});
+  csv.row({std::to_string(bench_jobs), std::to_string(nets.size()),
+           std::to_string(points), io::CsvWriter::num(secsN),
+           io::CsvWriter::num(static_cast<double>(nets.size()) / secsN)});
+
+  bench::BenchJsonWriter json("route_batch");
+  json.add_run("jobs1", 1, secs1, nets.size());
+  json.add_run("jobs" + std::to_string(bench_jobs), bench_jobs, secsN,
+               nets.size(), {{"speedup", speedup}});
+  json.add_run("jobs" + std::to_string(bench_jobs) + "_rerun", bench_jobs,
+               secsN2, nets.size());
+  json.write();
+  bench::emit_obs_report("route_batch");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + full ctest, then a ThreadSanitizer pass
+# over the parallel execution layer (par/) and observability (obs/) tests.
+#
+#   scripts/verify.sh            # everything
+#   scripts/verify.sh --no-tsan  # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . -G Ninja
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "== TSan: par + obs tests =="
+  cmake -B build-tsan -S . -G Ninja -DPATLABOR_TSAN=ON
+  cmake --build build-tsan -j \
+    --target test_par test_obs test_cli_trace patlabor_cli
+  (
+    cd build-tsan
+    export TSAN_OPTIONS="halt_on_error=1"
+    ./tests/test_par
+    ./tests/test_obs
+    ./tests/test_cli_trace ./tools/patlabor_cli
+  )
+fi
+
+echo "verify: OK"

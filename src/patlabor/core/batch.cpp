@@ -1,0 +1,35 @@
+#include "patlabor/core/batch.hpp"
+
+#include <memory>
+
+#include "patlabor/obs/obs.hpp"
+
+namespace patlabor::core {
+
+std::vector<PatLaborResult> route_batch(std::span<const geom::Net> nets,
+                                        const BatchOptions& options) {
+  PL_SPAN("core.route_batch");
+  PL_COUNT("batch.nets", nets.size());
+
+  std::unique_ptr<par::ThreadPool> own;
+  par::ThreadPool* pool = nullptr;
+  if (options.jobs != 0) {
+    own = std::make_unique<par::ThreadPool>(options.jobs);
+    pool = own.get();
+  }
+
+  // The per-net local search shares the batch pool (cooperative draining
+  // makes the nesting safe) instead of spawning a second layer of threads.
+  PatLaborOptions per_net = options.route;
+  per_net.pool = pool;
+
+  return par::parallel_transform(
+      nets.size(),
+      [&](std::size_t i) {
+        PL_SPAN("batch.route_net");
+        return patlabor(nets[i], per_net);
+      },
+      pool);
+}
+
+}  // namespace patlabor::core

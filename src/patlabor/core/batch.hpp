@@ -1,0 +1,31 @@
+// Multi-net batch routing: the "serve many nets" entry point.
+//
+// route_batch fans the nets of a netlist out across the thread pool, one
+// PatLabor run per net, and returns results in input order.  Every per-net
+// run is independent (nets, options and the lookup table are read-only),
+// so the output is bit-identical to routing the nets sequentially — and to
+// any other --jobs setting.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "patlabor/core/patlabor.hpp"
+#include "patlabor/par/pool.hpp"
+
+namespace patlabor::core {
+
+struct BatchOptions {
+  /// Per-net routing options (table, lambda, policy, ...).
+  PatLaborOptions route;
+  /// Parallelism: 0 uses the global pool (par::jobs()); any other value
+  /// runs the batch on a private pool of that size.
+  std::size_t jobs = 0;
+};
+
+/// Routes every net, in parallel, returning results in input order.
+std::vector<PatLaborResult> route_batch(std::span<const geom::Net> nets,
+                                        const BatchOptions& options = {});
+
+}  // namespace patlabor::core

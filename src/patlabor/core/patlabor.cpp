@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 
@@ -262,21 +263,33 @@ PatLaborResult patlabor(const Net& net, const PatLaborOptions& options) {
     (void)sub_frontier;
     {
       PL_SPAN("search.reattach");
-      for (const RoutingTree& sub : sub_trees) {
-        for (const ReattachMode mode :
-             {ReattachMode::kNearest, ReattachMode::kDelayAware}) {
-          RoutingTree candidate =
-              regenerate_subtopology(target, pins, sub, mode);
-          if (!candidate.validate().empty()) {
-            PL_COUNT("search.moves_rejected", 1);
-            continue;
-          }
-          if (options.refine)
-            tree::refine(candidate, tree::RefineMode::kEither, 4);
-          PL_COUNT("search.moves_accepted", 1);
-          population.push_back(std::move(candidate));
-        }
-      }
+      // Candidate regenerations (one per sub-topology x reattach mode) are
+      // independent: evaluate them across the pool, then fold the valid
+      // ones into the population in index order.  The ordered reduction
+      // keeps the population — and hence the frontier — bit-identical for
+      // every pool size.
+      constexpr ReattachMode kModes[] = {ReattachMode::kNearest,
+                                         ReattachMode::kDelayAware};
+      const std::size_t num_jobs = sub_trees.size() * std::size(kModes);
+      auto candidates = par::parallel_transform(
+          num_jobs,
+          [&](std::size_t j) {
+            const RoutingTree& sub = sub_trees[j / std::size(kModes)];
+            const ReattachMode mode = kModes[j % std::size(kModes)];
+            RoutingTree candidate =
+                regenerate_subtopology(target, pins, sub, mode);
+            if (!candidate.validate().empty()) {
+              PL_COUNT("search.moves_rejected", 1);
+              return std::optional<RoutingTree>();
+            }
+            if (options.refine)
+              tree::refine(candidate, tree::RefineMode::kEither, 4);
+            PL_COUNT("search.moves_accepted", 1);
+            return std::optional<RoutingTree>(std::move(candidate));
+          },
+          options.pool);
+      for (std::optional<RoutingTree>& c : candidates)
+        if (c.has_value()) population.push_back(std::move(*c));
     }
     filter_population(population);
   }

@@ -16,6 +16,7 @@
 
 #include "patlabor/core/policy.hpp"
 #include "patlabor/lut/lut.hpp"
+#include "patlabor/par/pool.hpp"
 #include "patlabor/pareto/pareto_set.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
@@ -35,6 +36,11 @@ struct PatLaborOptions {
   int iteration_factor = 2;
   /// Run SALT-style post-processing on regenerated candidates.
   bool refine = true;
+  /// Pool for the parallel candidate evaluation of the local search
+  /// (nullptr = the global pool).  The frontier is bit-identical for every
+  /// pool size: candidates are evaluated concurrently but Pareto-merged in
+  /// deterministic order.
+  par::ThreadPool* pool = nullptr;
 };
 
 struct PatLaborResult {

@@ -16,18 +16,23 @@ using geom::Point;
 using tree::RoutingTree;
 
 LookupTable LookupTable::generate(int max_degree,
-                                  const ParamDwOptions& options) {
+                                  const ParamDwOptions& options,
+                                  par::ThreadPool* pool) {
   LookupTable lut;
-  for (int n = 4; n <= max_degree; ++n) lut.generate_degree(n, options);
+  for (int n = 4; n <= max_degree; ++n) lut.generate_degree(n, options, pool);
   return lut;
 }
 
-void LookupTable::generate_degree(int degree, const ParamDwOptions& options) {
+void LookupTable::generate_degree(int degree, const ParamDwOptions& options,
+                                  par::ThreadPool* pool) {
   assert(degree >= 4 && degree <= kMaxLutDegree);
   PL_SPAN("lut.generate_degree");
   util::Timer timer;
   DegreeStats st;
 
+  // Canonical pattern enumeration is cheap relative to the DPs; collect the
+  // representatives first so the DP runs can fan out across the pool.
+  std::vector<PinPattern> patterns;
   std::vector<std::uint8_t> perm(static_cast<std::size_t>(degree));
   std::iota(perm.begin(), perm.end(), std::uint8_t{0});
   do {
@@ -37,36 +42,30 @@ void LookupTable::generate_degree(int degree, const ParamDwOptions& options) {
     pat.source = 0;
     // One DP run per canonical pattern; skip non-representatives.
     if (pattern_code(pat) != canonical_pattern_only(pat).code) continue;
-    ++st.patterns;
-
-    const PatternSolutions sols = param_dw(pat, options);
-    st.lp_calls += sols.lp_calls;
-    for (int s = 0; s < degree; ++s) {
-      PinPattern keyed = pat;
-      keyed.source = static_cast<std::uint8_t>(s);
-      const Canonical cj = canonical_joint(keyed);
-      if (table_.count(cj.code) > 0) continue;  // symmetric source duplicate
-      std::vector<RankTopology> stored;
-      stored.reserve(sols.per_source[static_cast<std::size_t>(s)].size());
-      for (const RankTopology& topo :
-           sols.per_source[static_cast<std::size_t>(s)]) {
-        RankTopology t;
-        t.edges.reserve(topo.edges.size());
-        for (const auto& [a, b] : topo.edges)
-          t.edges.emplace_back(transform_point(a, cj.transform, degree),
-                               transform_point(b, cj.transform, degree));
-        t.canonicalize();
-        stored.push_back(std::move(t));
-      }
-      st.topologies += stored.size();
-      // 8 bytes key + 4 bytes count + 1 + 2 bytes per edge per topology.
-      st.bytes += 12;
-      for (const RankTopology& t : stored)
-        st.bytes += 1 + 2 * t.edges.size();
-      ++st.indices;
-      table_.emplace(cj.code, std::move(stored));
-    }
+    patterns.push_back(pat);
   } while (std::next_permutation(perm.begin(), perm.end()));
+  st.patterns = patterns.size();
+
+  par::ThreadPool& exec = pool != nullptr ? *pool : par::global_pool();
+  // Windowed fan-out: each wave solves a block of patterns in parallel
+  // (every param_dw call owns its solver state, including its
+  // DominanceProver), then merges the results sequentially in canonical
+  // pattern order — the same insertion order as a 1-thread run, so the
+  // table is bit-identical for every pool size.  The window bounds how
+  // many unmerged PatternSolutions are held in memory at once.
+  const std::size_t window = std::max<std::size_t>(8, 4 * exec.size());
+  for (std::size_t base = 0; base < patterns.size(); base += window) {
+    const std::size_t count = std::min(window, patterns.size() - base);
+    std::vector<PatternSolutions> wave = par::parallel_transform(
+        count,
+        [&](std::size_t i) {
+          PL_SPAN("lut.param_dw");
+          return param_dw(patterns[base + i], options);
+        },
+        &exec);
+    for (std::size_t i = 0; i < count; ++i)
+      merge_pattern(patterns[base + i], wave[i], st);
+  }
 
   st.gen_seconds = timer.seconds();
   stats_[degree] = st;
@@ -75,6 +74,63 @@ void LookupTable::generate_degree(int degree, const ParamDwOptions& options) {
   PL_COUNT("lut.gen_indices", st.indices);
   PL_COUNT("lut.gen_topologies", st.topologies);
   PL_COUNT("lut.gen_lp_calls", static_cast<std::uint64_t>(st.lp_calls));
+}
+
+void LookupTable::merge_pattern(const PinPattern& pat,
+                                const PatternSolutions& sols,
+                                DegreeStats& st) {
+  const int degree = pat.n;
+  st.lp_calls += sols.lp_calls;
+  for (int s = 0; s < degree; ++s) {
+    PinPattern keyed = pat;
+    keyed.source = static_cast<std::uint8_t>(s);
+    const Canonical cj = canonical_joint(keyed);
+    if (table_.count(cj.code) > 0) continue;  // symmetric source duplicate
+    std::vector<RankTopology> stored;
+    stored.reserve(sols.per_source[static_cast<std::size_t>(s)].size());
+    for (const RankTopology& topo :
+         sols.per_source[static_cast<std::size_t>(s)]) {
+      RankTopology t;
+      t.edges.reserve(topo.edges.size());
+      for (const auto& [a, b] : topo.edges)
+        t.edges.emplace_back(transform_point(a, cj.transform, degree),
+                             transform_point(b, cj.transform, degree));
+      t.canonicalize();
+      stored.push_back(std::move(t));
+    }
+    st.topologies += stored.size();
+    // 8 bytes key + 4 bytes count + 1 + 2 bytes per edge per topology.
+    st.bytes += 12;
+    for (const RankTopology& t : stored)
+      st.bytes += 1 + 2 * t.edges.size();
+    ++st.indices;
+    table_.emplace(cj.code, std::move(stored));
+  }
+}
+
+std::uint64_t LookupTable::content_hash() const {
+  // FNV-1a over (code, topology bytes) of every entry, combined
+  // commutatively (sum) so the unordered_map iteration order is irrelevant.
+  std::uint64_t combined = 0x40490FDB5851F42DULL;
+  for (const auto& [code, topos] : table_) {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001B3ULL;
+      }
+    };
+    mix(code);
+    mix(topos.size());
+    for (const RankTopology& t : topos) {
+      mix(t.edges.size());
+      for (const auto& [a, b] : t.edges)
+        mix(static_cast<std::uint64_t>(a.x) | (std::uint64_t{a.y} << 8) |
+            (std::uint64_t{b.x} << 16) | (std::uint64_t{b.y} << 24));
+    }
+    combined += h;
+  }
+  return combined;
 }
 
 LookupTable::QueryResult LookupTable::query(const Net& net) const {

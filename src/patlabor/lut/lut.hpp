@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "patlabor/lut/param_dw.hpp"
+#include "patlabor/par/pool.hpp"
 #include "patlabor/pareto/pareto_set.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
@@ -42,12 +43,16 @@ class LookupTable {
   LookupTable() = default;
 
   /// Generates tables for all degrees 4..max_degree (degree 2 and 3 are
-  /// trivial and answered in closed form by query()).
+  /// trivial and answered in closed form by query()).  Pattern DPs are
+  /// distributed over `pool` (the global pool when null); the table content
+  /// is bit-identical for every pool size.
   static LookupTable generate(int max_degree,
-                              const ParamDwOptions& options = {});
+                              const ParamDwOptions& options = {},
+                              par::ThreadPool* pool = nullptr);
 
   /// Generates and merges one additional degree into this table.
-  void generate_degree(int degree, const ParamDwOptions& options = {});
+  void generate_degree(int degree, const ParamDwOptions& options = {},
+                       par::ThreadPool* pool = nullptr);
 
   int max_degree() const { return max_degree_; }
   bool covers(std::size_t degree) const {
@@ -67,12 +72,22 @@ class LookupTable {
 
   const std::map<int, DegreeStats>& stats() const { return stats_; }
 
+  /// Order-independent digest of the table content (codes + topologies;
+  /// generation timings excluded).  Equal digests across --jobs settings
+  /// are the determinism contract of parallel generation.
+  std::uint64_t content_hash() const;
+
   /// Binary (de)serialization; format documented in lut_io.cpp.
   void save(const std::string& path) const;
   static LookupTable load(const std::string& path);
 
  private:
   friend struct LutSerializer;
+
+  /// Ordered-reduction step of parallel generation: folds one pattern's DP
+  /// solutions into the table, preserving the canonical insertion order.
+  void merge_pattern(const PinPattern& pat, const PatternSolutions& sols,
+                     DegreeStats& st);
 
   std::unordered_map<std::uint64_t, std::vector<RankTopology>> table_;
   std::map<int, DegreeStats> stats_;

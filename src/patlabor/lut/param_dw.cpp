@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
-#include <set>
 
 #include "patlabor/exactlp/dominance_prover.hpp"
 #include "patlabor/util/rng.hpp"
@@ -448,15 +447,23 @@ PatternSolutions ParamSolver::run() {
     const std::uint32_t sinks = full_ ^ (1u << s);
     const int v = node_of(pat_.pin(s));
     const State& st = state(v, sinks);
-    std::set<RankTopology> dedup;
+    // Sorted-vector dedup (one sort + unique) instead of a node-based
+    // std::set: same sorted output, no per-insert allocations.
+    std::vector<RankTopology> dedup;
+    dedup.reserve(st.final_.size());
     for (std::size_t i = 0; i < st.final_.size(); ++i) {
       RankTopology topo;
       reconstruct_final(v, sinks, static_cast<std::int32_t>(i), topo);
       topo.canonicalize();
-      dedup.insert(std::move(topo));
+      dedup.push_back(std::move(topo));
     }
-    out.per_source[static_cast<std::size_t>(s)].assign(dedup.begin(),
-                                                       dedup.end());
+    std::sort(dedup.begin(), dedup.end());
+    dedup.erase(std::unique(dedup.begin(), dedup.end(),
+                            [](const RankTopology& a, const RankTopology& b) {
+                              return a.edges == b.edges;
+                            }),
+                dedup.end());
+    out.per_source[static_cast<std::size_t>(s)] = std::move(dedup);
   }
   out.dp_solutions = created_;
   out.lp_calls = prover_.lp_calls();

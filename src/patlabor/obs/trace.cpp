@@ -16,6 +16,7 @@ namespace {
 struct ThreadBuf {
   std::mutex mu;
   std::vector<TraceEvent> events;
+  std::string name;  // lane name; set via set_thread_name, mu-protected
   std::uint32_t tid = 0;
   std::uint32_t depth = 0;
 };
@@ -65,6 +66,23 @@ void escape_json(const std::string& s, std::string& out) {
 }
 
 }  // namespace
+
+void set_thread_name(std::string name) {
+  ThreadBuf& b = local_buf();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.name = std::move(name);
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> thread_names() {
+  std::vector<std::pair<std::uint32_t, std::string>> out;
+  BufRegistry& r = buf_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.bufs) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    if (!b->name.empty()) out.emplace_back(b->tid, b->name);
+  }
+  return out;
+}
 
 std::uint64_t now_us() noexcept {
   static const auto t0 = std::chrono::steady_clock::now();
@@ -130,6 +148,16 @@ std::string trace_json(const std::vector<TraceEvent>& events) {
   out.reserve(events.size() * 96 + 64);
   out += "{\"traceEvents\":[";
   bool first = true;
+  // Lane names (pool workers etc.) as Chrome thread_name metadata events.
+  for (const auto& [tid, name] : thread_names()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    escape_json(name, out);
+    out += "\"}}";
+  }
   for (const TraceEvent& e : events) {
     if (!first) out += ",";
     first = false;

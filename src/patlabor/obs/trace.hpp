@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "patlabor/obs/stats.hpp"
@@ -48,6 +49,14 @@ class TraceSpan {
   std::uint32_t depth_ = 0;
   bool active_ = false;
 };
+
+/// Names the calling thread's lane in trace output (e.g. "pool.worker-3").
+/// Safe to call whether or not recording is enabled; the last name set for
+/// a thread wins.  Pool workers register themselves on startup.
+void set_thread_name(std::string name);
+
+/// Snapshot of every (tid, name) pair registered via set_thread_name.
+std::vector<std::pair<std::uint32_t, std::string>> thread_names();
 
 /// Moves every completed event out of all per-thread buffers, sorted by
 /// (tid, start time, depth).

@@ -1,0 +1,189 @@
+#include "patlabor/par/pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "patlabor/obs/trace.hpp"
+#include "patlabor/util/str.hpp"
+
+namespace patlabor::par {
+
+namespace {
+
+/// One submitted batch of n index-tasks, drained cooperatively by workers
+/// and the submitting thread.
+struct Batch {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  // First (lowest-index) exception wins so failures are deterministic.
+  std::exception_ptr err;
+  std::size_t err_index = std::numeric_limits<std::size_t>::max();
+
+  void drain() {
+    for (std::size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < err_index) {
+          err_index = i;
+          err = std::current_exception();
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<Batch>> queue;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  void worker_main(std::size_t index) {
+    obs::set_thread_name("pool.worker-" + std::to_string(index));
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        batch = queue.front();
+        // Leave the batch visible until exhausted so every idle worker can
+        // join it; drop it once all of its chunks have been claimed.
+        if (batch->next.load(std::memory_order_relaxed) >= batch->n)
+          queue.pop_front();
+      }
+      batch->drain();
+      std::lock_guard<std::mutex> lock(mu);
+      if (!queue.empty() && queue.front() == batch &&
+          batch->next.load(std::memory_order_relaxed) >= batch->n)
+        queue.pop_front();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : size_(threads == 0 ? 1 : threads) {
+  if (size_ == 1) return;  // inline fallback: no workers, no queue
+  impl_ = new Impl;
+  impl_->workers.reserve(size_ - 1);
+  for (std::size_t i = 0; i + 1 < size_; ++i)
+    impl_->workers.emplace_back([this, i] { impl_->worker_main(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void ThreadPool::run_indexed(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (impl_ == nullptr || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->n = n;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(batch);
+  }
+  impl_->cv.notify_all();
+  batch->drain();  // the submitting thread is a full participant
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->n;
+    });
+    if (batch->err) std::rethrow_exception(batch->err);
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_jobs = 0;  // 0 = unresolved
+
+std::size_t resolve_default_jobs() {
+  if (const char* env = std::getenv("PATLABOR_JOBS")) {
+    const auto v = util::parse_u64(env);
+    if (v && *v >= 1) return static_cast<std::size_t>(*v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+std::size_t jobs() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_jobs == 0) g_jobs = resolve_default_jobs();
+  return g_jobs;
+}
+
+void set_jobs(std::size_t n) {
+  if (n == 0) n = 1;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_jobs = n;
+  if (g_pool != nullptr && g_pool->size() != n) g_pool.reset();
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_jobs == 0) g_jobs = resolve_default_jobs();
+  if (g_pool == nullptr) g_pool = std::make_unique<ThreadPool>(g_jobs);
+  return *g_pool;
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  ThreadPool* pool) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  ThreadPool& p = pool != nullptr ? *pool : global_pool();
+  p.run_indexed(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    fn(begin, std::min(begin + grain, n));
+  });
+}
+
+std::uint64_t task_seed(std::uint64_t base_seed,
+                        std::uint64_t task_index) noexcept {
+  // splitmix64 finalizer over the pair; full avalanche keeps neighbouring
+  // task indices statistically independent.
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (task_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace patlabor::par

@@ -1,0 +1,95 @@
+// Shared parallel execution layer: a fixed-size thread pool with chunked
+// parallel_for / parallel_transform and a deterministic ordered reduction.
+//
+// Determinism contract: parallel_transform(n, fn) returns out[i] = fn(i)
+// merged in index order, so as long as fn(i) depends only on i (and
+// read-only captures), the result is bit-identical for every pool size,
+// including 1.  Stochastic tasks derive their stream from task_rng(seed, i)
+// — a function of the task index, never of the executing thread — which
+// keeps randomized work on the same contract.
+//
+// Batches are drained cooperatively: the submitting thread executes chunks
+// alongside the workers, so a worker may itself submit a nested batch to
+// the same pool without deadlock (it just drains the inner batch in place).
+// A pool of size 1 (or a batch of one chunk) runs entirely inline on the
+// calling thread — the zero-dependency fallback path spawns nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "patlabor/util/rng.hpp"
+
+namespace patlabor::par {
+
+/// Fixed-size worker pool.  `threads` is the total parallelism of a batch:
+/// the pool owns threads-1 workers and the submitting thread contributes
+/// the remaining lane while it waits.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the submitting thread); always >= 1.
+  std::size_t size() const noexcept { return size_; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all calls finished.
+  /// Exceptions are rethrown in the caller; when several chunks throw, the
+  /// one with the smallest index wins (deterministic for any pool size).
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+  std::size_t size_ = 1;
+};
+
+/// Effective job count: the last set_jobs() value if any, else the
+/// PATLABOR_JOBS env var (when a positive integer), else
+/// std::thread::hardware_concurrency().
+std::size_t jobs();
+
+/// Overrides the job count used by the global pool.  Requires n >= 1.
+/// If the global pool already exists at a different size it is rebuilt;
+/// the caller must ensure no batches are in flight on it.
+void set_jobs(std::size_t n);
+
+/// Lazily-constructed process-wide pool of size jobs().
+ThreadPool& global_pool();
+
+/// Chunked parallel loop over [0, n): fn(begin, end) per chunk of at most
+/// `grain` indices.  `pool` defaults to the global pool.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  ThreadPool* pool = nullptr);
+
+/// Ordered map: returns {fn(0), fn(1), ..., fn(n-1)}, computed in parallel
+/// but merged in index order.  fn must be callable concurrently.
+template <typename F>
+auto parallel_transform(std::size_t n, F&& fn, ThreadPool* pool = nullptr)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  using R = decltype(fn(std::size_t{}));
+  std::vector<R> out(n);
+  ThreadPool& p = pool != nullptr ? *pool : global_pool();
+  p.run_indexed(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Seed of task i's private RNG stream, derived from a base seed by a
+/// splitmix-style mix so neighbouring indices land far apart.  Depends only
+/// on (base_seed, task_index): streams are reproducible for any pool size.
+std::uint64_t task_seed(std::uint64_t base_seed,
+                        std::uint64_t task_index) noexcept;
+
+/// Per-task RNG on the task_seed stream.
+inline util::Rng task_rng(std::uint64_t base_seed,
+                          std::uint64_t task_index) noexcept {
+  return util::Rng(task_seed(base_seed, task_index));
+}
+
+}  // namespace patlabor::par

@@ -14,6 +14,7 @@
 #include "patlabor/baselines/pd.hpp"
 #include "patlabor/baselines/salt.hpp"
 #include "patlabor/baselines/ysd.hpp"
+#include "patlabor/core/batch.hpp"
 #include "patlabor/core/pareto_ks.hpp"
 #include "patlabor/core/patlabor.hpp"
 #include "patlabor/core/policy.hpp"
@@ -36,6 +37,7 @@
 #include "patlabor/obs/json.hpp"
 #include "patlabor/obs/obs.hpp"
 #include "patlabor/obs/report.hpp"
+#include "patlabor/par/pool.hpp"
 #include "patlabor/pareto/curve.hpp"
 #include "patlabor/pareto/pareto_set.hpp"
 #include "patlabor/rsma/rsma.hpp"

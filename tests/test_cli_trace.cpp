@@ -8,6 +8,10 @@
 #include <sstream>
 #include <string>
 
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
 #include "patlabor/obs/json.hpp"
 #include "patlabor/obs/obs.hpp"
 
@@ -34,6 +38,15 @@ int run(const std::string& cmd) {
   return std::system(cmd.c_str());
 }
 
+/// Child exit code from a std::system wait status (-1 when abnormal).
+int exit_code(int status) {
+#ifdef _WIN32
+  return status;
+#else
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,6 +70,18 @@ int main(int argc, char** argv) {
         "non-numeric count rejected");
   check(run("\"" + cli + "\" route " + nets + " --lambda -2") != 0,
         "negative lambda rejected");
+
+  // --jobs goes through the checked parser: 0, junk and overflow exit 2
+  // (the CLI usage-error convention), valid values route fine.
+  check(exit_code(run("\"" + cli + "\" route " + nets + " --jobs 0")) == 2,
+        "--jobs 0 rejected with exit code 2");
+  check(exit_code(run("\"" + cli + "\" route " + nets + " --jobs 2x")) == 2,
+        "non-numeric --jobs rejected with exit code 2");
+  check(exit_code(run("\"" + cli + "\" route " + nets +
+                      " --jobs 99999999999999999999")) == 2,
+        "overflowing --jobs rejected with exit code 2");
+  check(run("\"" + cli + "\" route " + nets + " --jobs 2") == 0,
+        "route --jobs 2 succeeds");
 
   const std::string text = read_file(trace);
   check(!text.empty(), "trace file written and non-empty");

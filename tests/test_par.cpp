@@ -1,0 +1,216 @@
+// The parallel execution layer (src/patlabor/par/): pool primitives,
+// per-task RNG streams, and the determinism contract — LUT generation,
+// route_batch and the local search must produce bit-identical output for
+// every pool size, including 1, and across repeated runs.
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "patlabor/core/batch.hpp"
+#include "patlabor/core/patlabor.hpp"
+#include "patlabor/lut/lut.hpp"
+#include "patlabor/netgen/netgen.hpp"
+#include "patlabor/obs/obs.hpp"
+#include "patlabor/obs/trace.hpp"
+#include "patlabor/par/pool.hpp"
+#include "patlabor/util/rng.hpp"
+
+namespace patlabor {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    par::ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{100}}) {
+      std::vector<std::atomic<int>> hits(257);
+      par::parallel_for(
+          hits.size(), grain,
+          [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+          },
+          &pool);
+      for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelTransformMergesInIndexOrder) {
+  par::ThreadPool pool(4);
+  const auto out = par::parallel_transform(
+      1000, [](std::size_t i) { return i * i; }, &pool);
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ZeroAndOneElementBatchesRunInline) {
+  par::ThreadPool pool(4);
+  par::parallel_for(0, 1, [](std::size_t, std::size_t) { FAIL(); }, &pool);
+  const auto one = par::parallel_transform(
+      1, [](std::size_t i) { return i + 41; }, &pool);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 41u);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins) {
+  par::ThreadPool pool(4);
+  try {
+    pool.run_indexed(64, [](std::size_t i) {
+      if (i % 7 == 3) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+}
+
+TEST(ThreadPool, NestedBatchesOnTheSamePoolDoNotDeadlock) {
+  par::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.run_indexed(5, [&](std::size_t) {
+    pool.run_indexed(5, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 25);
+}
+
+TEST(ThreadPool, SequentialBatchesReuseWorkers) {
+  par::ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> n{0};
+    pool.run_indexed(8, [&](std::size_t) { n.fetch_add(1); });
+    ASSERT_EQ(n.load(), 8);
+  }
+}
+
+TEST(TaskRng, StreamsDependOnlyOnSeedAndIndex) {
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    util::Rng a = par::task_rng(123, i);
+    util::Rng b = par::task_rng(123, i);
+    for (int k = 0; k < 8; ++k) EXPECT_EQ(a.next(), b.next());
+  }
+  // Neighbouring indices (and different seeds) give distinct streams.
+  EXPECT_NE(par::task_seed(123, 0), par::task_seed(123, 1));
+  EXPECT_NE(par::task_seed(123, 0), par::task_seed(124, 0));
+}
+
+TEST(Jobs, SetJobsControlsTheGlobalPool) {
+  const std::size_t before = par::jobs();
+  par::set_jobs(2);
+  EXPECT_EQ(par::jobs(), 2u);
+  EXPECT_EQ(par::global_pool().size(), 2u);
+  par::set_jobs(before);
+  EXPECT_EQ(par::global_pool().size(), before);
+}
+
+TEST(ObsIntegration, PoolWorkersRegisterNamedTraceLanes) {
+  par::ThreadPool pool(3);  // 2 workers register themselves on startup
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::size_t workers = 0;
+  do {
+    workers = 0;
+    for (const auto& [tid, name] : obs::thread_names())
+      if (name.rfind("pool.worker-", 0) == 0) ++workers;
+    if (workers >= 2) break;
+    std::this_thread::yield();
+  } while (std::chrono::steady_clock::now() < deadline);
+  EXPECT_GE(workers, 2u);
+
+  // The lane names surface as Chrome thread_name metadata events.
+  const std::string json = obs::trace_json({});
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("pool.worker-"), std::string::npos);
+}
+
+// ---- Determinism golden-compares across pool sizes ----
+
+TEST(Determinism, LutGenerationIsIdenticalForAnyPoolSize) {
+  par::ThreadPool pool1(1), pool4(4);
+  const lut::LookupTable seq = lut::LookupTable::generate(5, {}, &pool1);
+  const lut::LookupTable par_a = lut::LookupTable::generate(5, {}, &pool4);
+  const lut::LookupTable par_b = lut::LookupTable::generate(5, {}, &pool4);
+
+  EXPECT_EQ(seq.content_hash(), par_a.content_hash());
+  EXPECT_EQ(par_a.content_hash(), par_b.content_hash());  // run-to-run
+  ASSERT_EQ(seq.stats().size(), par_a.stats().size());
+  for (const auto& [degree, st] : seq.stats()) {
+    const auto& pt = par_a.stats().at(degree);
+    EXPECT_EQ(st.indices, pt.indices);
+    EXPECT_EQ(st.patterns, pt.patterns);
+    EXPECT_EQ(st.topologies, pt.topologies);
+    EXPECT_EQ(st.lp_calls, pt.lp_calls);
+    EXPECT_EQ(st.bytes, pt.bytes);
+  }
+}
+
+TEST(Determinism, LutQueriesAgreeAcrossPoolSizes) {
+  par::ThreadPool pool1(1), pool3(3);
+  const lut::LookupTable seq = lut::LookupTable::generate(5, {}, &pool1);
+  const lut::LookupTable par_t = lut::LookupTable::generate(5, {}, &pool3);
+  util::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const geom::Net net = netgen::uniform_net(rng, 5);
+    EXPECT_EQ(seq.query(net).frontier, par_t.query(net).frontier);
+  }
+}
+
+std::vector<core::PatLaborResult> route_with_jobs(
+    const std::vector<geom::Net>& nets, const lut::LookupTable& table,
+    std::size_t jobs) {
+  core::BatchOptions opt;
+  opt.route.table = &table;
+  opt.route.lambda = 7;
+  opt.jobs = jobs;
+  return core::route_batch(nets, opt);
+}
+
+TEST(Determinism, RouteBatchIsIdenticalForAnyJobCountAndRun) {
+  const lut::LookupTable table = lut::LookupTable::generate(5);
+  std::vector<geom::Net> nets;
+  util::Rng rng(99);
+  for (std::size_t d : {3u, 5u, 8u, 12u, 15u, 18u})
+    nets.push_back(netgen::clustered_net(rng, d));
+
+  const auto r1 = route_with_jobs(nets, table, 1);
+  const auto r4 = route_with_jobs(nets, table, 4);
+  const auto r4b = route_with_jobs(nets, table, 4);
+
+  ASSERT_EQ(r1.size(), nets.size());
+  ASSERT_EQ(r4.size(), nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    EXPECT_EQ(r1[i].frontier, r4[i].frontier) << "net " << i;
+    EXPECT_EQ(r4[i].frontier, r4b[i].frontier) << "net " << i;
+    EXPECT_EQ(r1[i].iterations, r4[i].iterations) << "net " << i;
+    ASSERT_EQ(r1[i].trees.size(), r4[i].trees.size()) << "net " << i;
+    for (std::size_t t = 0; t < r1[i].trees.size(); ++t)
+      EXPECT_EQ(r1[i].trees[t].structural_hash(),
+                r4[i].trees[t].structural_hash())
+          << "net " << i << " tree " << t;
+  }
+}
+
+TEST(Determinism, RouteBatchMatchesSequentialPatlabor) {
+  const lut::LookupTable table = lut::LookupTable::generate(4);
+  std::vector<geom::Net> nets;
+  util::Rng rng(5);
+  for (std::size_t d : {4u, 11u, 14u}) nets.push_back(netgen::uniform_net(rng, d));
+
+  const auto batch = route_with_jobs(nets, table, 4);
+  par::ThreadPool pool1(1);
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    core::PatLaborOptions opt;
+    opt.table = &table;
+    opt.lambda = 7;
+    opt.pool = &pool1;
+    const auto solo = core::patlabor(nets[i], opt);
+    EXPECT_EQ(solo.frontier, batch[i].frontier) << "net " << i;
+  }
+}
+
+}  // namespace
+}  // namespace patlabor

@@ -2,10 +2,15 @@
 //
 //   patlabor_cli gen  <uniform|clustered|smoothed> <count> <degree> <out.nets>
 //                     [seed] [kappa]
-//   patlabor_cli route <in.nets> [--lut <path>] [--lambda N] [--csv <out.csv>]
-//                      [--stats] [--trace <out.json>]
-//   patlabor_cli lutgen <max_degree> <out.bin> [--stats] [--trace <out.json>]
+//   patlabor_cli route <in.nets> [--lut <path>] [--lambda N] [--jobs N]
+//                      [--csv <out.csv>] [--stats] [--trace <out.json>]
+//   patlabor_cli lutgen <max_degree> <out.bin> [--jobs N] [--stats]
+//                       [--trace <out.json>]
 //   patlabor_cli lutinfo <table.bin>
+//
+// --jobs N (or the PATLABOR_JOBS env var) sets the thread-pool size for
+// batch routing and LUT generation; the default is the hardware
+// concurrency, and the output is bit-identical for every setting.
 //
 // --stats prints a per-phase time table plus every counter/histogram after
 // the command; --trace additionally writes Chrome trace_event JSON openable
@@ -39,8 +44,8 @@ int usage() {
       "  patlabor_cli gen <uniform|clustered|smoothed> <count> <degree> "
       "<out.nets> [seed] [kappa]\n"
       "  patlabor_cli route <in.nets> [--lut <path>] [--lambda N] "
-      "[--csv <out.csv>] [--stats] [--trace <out.json>]\n"
-      "  patlabor_cli lutgen <max_degree> <out.bin> [--stats] "
+      "[--jobs N] [--csv <out.csv>] [--stats] [--trace <out.json>]\n"
+      "  patlabor_cli lutgen <max_degree> <out.bin> [--jobs N] [--stats] "
       "[--trace <out.json>]\n"
       "  patlabor_cli lutinfo <table.bin>\n");
   return 2;
@@ -147,12 +152,16 @@ int cmd_route(int argc, char** argv) {
   std::string lut_path, csv_path, trace_path;
   bool stats = false;
   std::size_t lambda = 9;
+  std::size_t jobs = 0;  // 0 = default (PATLABOR_JOBS env / hardware)
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lut") == 0 && i + 1 < argc) {
       lut_path = argv[++i];
     } else if (std::strcmp(argv[i], "--lambda") == 0 && i + 1 < argc) {
       lambda = static_cast<std::size_t>(
           parse_count(argv[++i], "lambda", /*min_value=*/1));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(
+          parse_count(argv[++i], "jobs", /*min_value=*/1));
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -183,9 +192,10 @@ int cmd_route(int argc, char** argv) {
       nets = io::read_nets(in);
     }
     net_count = nets.size();
-    core::PatLaborOptions opt;
-    opt.lambda = lambda;
-    if (have_table) opt.table = &table;
+    core::BatchOptions opt;
+    opt.route.lambda = lambda;
+    if (have_table) opt.route.table = &table;
+    if (jobs != 0) par::set_jobs(jobs);
 
     std::unique_ptr<io::CsvWriter> csv;
     if (!csv_path.empty())
@@ -193,8 +203,10 @@ int cmd_route(int argc, char** argv) {
           csv_path,
           std::vector<std::string>{"net", "degree", "wirelength", "delay"});
 
-    for (const geom::Net& net : nets) {
-      const auto r = core::patlabor(net, opt);
+    const auto results = core::route_batch(nets, opt);
+    for (std::size_t n = 0; n < nets.size(); ++n) {
+      const geom::Net& net = nets[n];
+      const auto& r = results[n];
       std::printf("%s (degree %zu): %zu frontier points\n",
                   net.name.empty() ? "<net>" : net.name.c_str(), net.degree(),
                   r.frontier.size());
@@ -229,6 +241,9 @@ int cmd_lutgen(int argc, char** argv) {
       stats = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      par::set_jobs(static_cast<std::size_t>(
+          parse_count(argv[++i], "jobs", /*min_value=*/1)));
     } else {
       return usage();
     }
