@@ -166,7 +166,7 @@ inline MethodRun run_ysd(const geom::Net& net) {
 inline MethodRun run_pd(const geom::Net& net) {
   util::Timer timer;
   const auto alphas = baselines::default_alphas();
-  const auto trees = baselines::pd_sweep(net, alphas, /*refine=*/true);
+  const auto trees = baselines::pd_sweep(net, alphas, {.refine = true});
   return {pareto::pareto_filter(tree::objectives(trees)), timer.seconds()};
 }
 

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   const auto salt_trees = baselines::salt_sweep(net, baselines::default_epsilons());
   const auto ysd_trees = baselines::ysd_sweep(net, baselines::default_betas());
   const auto pd_trees =
-      baselines::pd_sweep(net, baselines::default_alphas(), true);
+      baselines::pd_sweep(net, baselines::default_alphas(), {.refine = true});
 
   const auto salt_front = pareto::pareto_filter(tree::objectives(salt_trees));
   const auto ysd_front = pareto::pareto_filter(tree::objectives(ysd_trees));

@@ -10,21 +10,26 @@ cd "$(dirname "$0")/.."
 run_tsan=1
 [[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
 
-echo "== tier-1: build + ctest =="
+echo "== tier-1: build + ctest (frontier cache on and off) =="
 cmake -B build -S . -G Ninja
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+(cd build && PATLABOR_CACHE=0 ctest --output-on-failure -j)
+(cd build && PATLABOR_CACHE=1 ctest --output-on-failure -j)
+
+echo "== engine cache bench: cold/warm/nocache bit-identity =="
+(cd build/bench && REPRO_SCALE="${REPRO_SCALE:-0.5}" ./bench_engine_cache)
 
 if [[ $run_tsan -eq 1 ]]; then
-  echo "== TSan: par + obs tests =="
+  echo "== TSan: par + obs + engine tests =="
   cmake -B build-tsan -S . -G Ninja -DPATLABOR_TSAN=ON
   cmake --build build-tsan -j \
-    --target test_par test_obs test_cli_trace patlabor_cli
+    --target test_par test_obs test_engine test_cli_trace patlabor_cli
   (
     cd build-tsan
     export TSAN_OPTIONS="halt_on_error=1"
     ./tests/test_par
     ./tests/test_obs
+    ./tests/test_engine
     ./tests/test_cli_trace ./tools/patlabor_cli
   )
 fi

@@ -65,13 +65,13 @@ std::vector<double> default_alphas() {
 
 std::vector<RoutingTree> pd_sweep(const Net& net,
                                   std::span<const double> alphas,
-                                  bool refine) {
+                                  const SweepOptions& options) {
   PL_SPAN("baseline.pd_sweep");
   PL_COUNT("pd.trees_built", alphas.size());
   std::vector<RoutingTree> out;
   out.reserve(alphas.size());
   for (double a : alphas)
-    out.push_back(refine ? pd_ii(net, a) : prim_dijkstra(net, a));
+    out.push_back(options.refine ? pd_ii(net, a) : prim_dijkstra(net, a));
   return out;
 }
 

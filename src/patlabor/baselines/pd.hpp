@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "patlabor/baselines/sweep.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
 namespace patlabor::baselines {
@@ -29,8 +30,9 @@ std::vector<double> default_alphas();
 
 /// Sweeps alpha and returns all resulting trees (callers Pareto-filter by
 /// objective; trees are kept so the chosen solution can be realized).
+/// options.refine selects PD-II over plain Prim-Dijkstra.
 std::vector<tree::RoutingTree> pd_sweep(const geom::Net& net,
                                         std::span<const double> alphas,
-                                        bool refine);
+                                        const SweepOptions& options = {});
 
 }  // namespace patlabor::baselines

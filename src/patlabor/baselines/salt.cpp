@@ -50,10 +50,13 @@ bool enforce_shallowness(RoutingTree& t, double epsilon) {
 
 }  // namespace
 
-RoutingTree salt(const Net& net, double epsilon) {
+namespace {
+
+RoutingTree salt_tree(const Net& net, double epsilon, bool refine) {
   RoutingTree t = rsmt::rsmt(net);  // the FLUTE seed of the SALT paper
   enforce_shallowness(t, epsilon);
   t.normalize();
+  if (!refine) return t;
   // SALT post-processing: recover wirelength without breaking delay.
   tree::refine(t, tree::RefineMode::kEither);
   // Refinement accepts moves by the max-delay objective, which can degrade
@@ -66,17 +69,24 @@ RoutingTree salt(const Net& net, double epsilon) {
   return t;
 }
 
+}  // namespace
+
+RoutingTree salt(const Net& net, double epsilon) {
+  return salt_tree(net, epsilon, /*refine=*/true);
+}
+
 std::vector<double> default_epsilons() {
   return {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.2, 2.0, 4.0, 8.0};
 }
 
 std::vector<RoutingTree> salt_sweep(const Net& net,
-                                    std::span<const double> epsilons) {
+                                    std::span<const double> epsilons,
+                                    const SweepOptions& options) {
   PL_SPAN("baseline.salt_sweep");
   PL_COUNT("salt.trees_built", epsilons.size());
   std::vector<RoutingTree> out;
   out.reserve(epsilons.size());
-  for (double e : epsilons) out.push_back(salt(net, e));
+  for (double e : epsilons) out.push_back(salt_tree(net, e, options.refine));
   return out;
 }
 

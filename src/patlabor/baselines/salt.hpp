@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "patlabor/baselines/sweep.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
 namespace patlabor::baselines {
@@ -26,7 +27,10 @@ tree::RoutingTree salt(const geom::Net& net, double epsilon);
 std::vector<double> default_epsilons();
 
 /// Sweeps epsilon; callers Pareto-filter the resulting objectives.
+/// options.refine runs the SALT post-processing (refine + shallowness
+/// re-enforcement); disabling it returns the raw shallow-light trees.
 std::vector<tree::RoutingTree> salt_sweep(const geom::Net& net,
-                                          std::span<const double> epsilons);
+                                          std::span<const double> epsilons,
+                                          const SweepOptions& options = {});
 
 }  // namespace patlabor::baselines

@@ -1,0 +1,21 @@
+// Shared options for the baseline parameter sweeps.
+//
+// pd_sweep / salt_sweep / ysd_sweep all have the unified signature
+//   (net, std::span<const double> params, const SweepOptions&)
+// where `params` is the method's tradeoff parameter (alpha / epsilon /
+// beta; engine::default_params supplies each method's experiment sweep).
+#pragma once
+
+namespace patlabor::baselines {
+
+struct SweepOptions {
+  /// Run the shared post-processing on each constructed tree.  What that
+  /// means per method: PD upgrades to PD-II (Steinerization + edge
+  /// substitution); SALT runs its refine + shallowness re-enforcement pass;
+  /// YSD's divide-and-conquer path runs the Steinerize cleanup (the
+  /// small-net pool path is unaffected — its candidates are terminal
+  /// geometric constructions).  Defaults to the experiments' setting.
+  bool refine = true;
+};
+
+}  // namespace patlabor::baselines

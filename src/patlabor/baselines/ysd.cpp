@@ -100,7 +100,9 @@ void divide_edges(const Net& parent_net, const Point& global_source,
 
 }  // namespace
 
-RoutingTree ysd(const Net& net, double beta) {
+namespace {
+
+RoutingTree ysd_tree(const Net& net, double beta, bool refine) {
   if (net.degree() <= kYsdSmallDegree) {
     auto pool = small_net_pool(net);
     return std::move(pool[pick_best_index(pool, beta)]);
@@ -111,8 +113,14 @@ RoutingTree ysd(const Net& net, double beta) {
   divide_edges(net, net.source(), std::move(sinks), beta, edges);
   RoutingTree t = RoutingTree::from_edges(net, edges);
   t.normalize();
-  tree::steinerize(t);  // light cleanup only; keep the D&C structure
+  if (refine) tree::steinerize(t);  // light cleanup; keep the D&C structure
   return t;
+}
+
+}  // namespace
+
+RoutingTree ysd(const Net& net, double beta) {
+  return ysd_tree(net, beta, /*refine=*/true);
 }
 
 std::vector<double> default_betas() {
@@ -120,7 +128,8 @@ std::vector<double> default_betas() {
 }
 
 std::vector<RoutingTree> ysd_sweep(const Net& net,
-                                   std::span<const double> betas) {
+                                   std::span<const double> betas,
+                                   const SweepOptions& options) {
   PL_SPAN("baseline.ysd_sweep");
   PL_COUNT("ysd.trees_built", betas.size());
   std::vector<RoutingTree> out;
@@ -131,7 +140,7 @@ std::vector<RoutingTree> ysd_sweep(const Net& net,
     for (double b : betas) out.push_back(pool[pick_best_index(pool, b)]);
     return out;
   }
-  for (double b : betas) out.push_back(ysd(net, b));
+  for (double b : betas) out.push_back(ysd_tree(net, b, options.refine));
   return out;
 }
 

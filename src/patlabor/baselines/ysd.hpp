@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "patlabor/baselines/sweep.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
 namespace patlabor::baselines {
@@ -33,7 +34,10 @@ tree::RoutingTree ysd(const geom::Net& net, double beta);
 std::vector<double> default_betas();
 
 /// Sweeps beta; callers Pareto-filter the resulting objectives.
+/// options.refine runs the Steinerize cleanup on the divide-and-conquer
+/// path; the small-net pool path is unaffected by it.
 std::vector<tree::RoutingTree> ysd_sweep(const geom::Net& net,
-                                         std::span<const double> betas);
+                                         std::span<const double> betas,
+                                         const SweepOptions& options = {});
 
 }  // namespace patlabor::baselines

@@ -1,7 +1,12 @@
+// Deprecated shim: route_batch is now a thin wrapper over the engine (see
+// engine/engine.hpp), kept for one release so existing callers keep
+// compiling.  It is compiled into pl_engine (not pl_core) because the
+// implementation depends on engine::Engine while pl_engine links pl_core.
 #include "patlabor/core/batch.hpp"
 
-#include <memory>
+#include <utility>
 
+#include "patlabor/engine/engine.hpp"
 #include "patlabor/obs/obs.hpp"
 
 namespace patlabor::core {
@@ -11,25 +16,24 @@ std::vector<PatLaborResult> route_batch(std::span<const geom::Net> nets,
   PL_SPAN("core.route_batch");
   PL_COUNT("batch.nets", nets.size());
 
-  std::unique_ptr<par::ThreadPool> own;
-  par::ThreadPool* pool = nullptr;
-  if (options.jobs != 0) {
-    own = std::make_unique<par::ThreadPool>(options.jobs);
-    pool = own.get();
-  }
+  engine::EngineOptions eopt;
+  eopt.lambda = options.route.lambda;
+  eopt.table = options.route.table;
+  eopt.policy = options.route.policy;
+  eopt.iteration_factor = options.route.iteration_factor;
+  eopt.refine = options.route.refine;
+  eopt.jobs = options.jobs;
+  const engine::Engine eng(eopt);
 
-  // The per-net local search shares the batch pool (cooperative draining
-  // makes the nesting safe) instead of spawning a second layer of threads.
-  PatLaborOptions per_net = options.route;
-  per_net.pool = pool;
+  std::vector<engine::RouteResponse> responses =
+      eng.route_batch(nets, engine::RouteRequest{});
 
-  return par::parallel_transform(
-      nets.size(),
-      [&](std::size_t i) {
-        PL_SPAN("batch.route_net");
-        return patlabor(nets[i], per_net);
-      },
-      pool);
+  std::vector<PatLaborResult> out;
+  out.reserve(responses.size());
+  for (engine::RouteResponse& r : responses)
+    out.push_back(PatLaborResult{std::move(r.frontier), std::move(r.trees),
+                                 r.iterations});
+  return out;
 }
 
 }  // namespace patlabor::core

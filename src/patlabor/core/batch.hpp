@@ -1,5 +1,12 @@
 // Multi-net batch routing: the "serve many nets" entry point.
 //
+// DEPRECATED: route_batch is now a thin shim over engine::Engine (see
+// engine/engine.hpp), which additionally serves repeated net shapes from
+// the canonicalization-keyed frontier cache and exposes every constructor
+// through RouteRequest.  New callers should construct an Engine; this
+// wrapper builds a throwaway one per call and will be removed after one
+// release.
+//
 // route_batch fans the nets of a netlist out across the thread pool, one
 // PatLabor run per net, and returns results in input order.  Every per-net
 // run is independent (nets, options and the lookup table are read-only),

@@ -1,0 +1,112 @@
+#include "patlabor/engine/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "patlabor/obs/obs.hpp"
+
+namespace patlabor::engine {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FrontierCache::FrontierCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  const std::size_t n = round_up_pow2(std::max<std::size_t>(shards, 1));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  per_shard_ = std::max<std::size_t>(1, (capacity_ + n - 1) / n);
+}
+
+FrontierCache::Shard& FrontierCache::shard_of(std::uint64_t key) {
+  // Fibonacci mix so nearby keys spread across stripes.
+  const std::uint64_t mixed = key * 0x9e3779b97f4a7c15ULL;
+  return *shards_[(mixed >> 32) & (shards_.size() - 1)];
+}
+
+std::optional<CacheEntry> FrontierCache::find(
+    std::uint64_t key, const std::vector<geom::Point>& pins) {
+  if (capacity_ == 0) return std::nullopt;
+  Shard& sh = shard_of(key);
+  std::optional<CacheEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.index.find(key);
+    if (it != sh.index.end() && it->second->second.pins == pins) {
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+      out = it->second->second;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out ? ++hits_ : ++misses_;
+  }
+  if (out) {
+    PL_COUNT("engine.cache.hit", 1);
+  } else {
+    PL_COUNT("engine.cache.miss", 1);
+  }
+  return out;
+}
+
+void FrontierCache::insert(std::uint64_t key, CacheEntry entry) {
+  if (capacity_ == 0) return;
+  Shard& sh = shard_of(key);
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.index.find(key);
+    if (it != sh.index.end()) {
+      it->second->second = std::move(entry);
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    } else {
+      sh.lru.emplace_front(key, std::move(entry));
+      sh.index.emplace(key, sh.lru.begin());
+      while (sh.lru.size() > per_shard_) {
+        sh.index.erase(sh.lru.back().first);
+        sh.lru.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      evictions_ += evicted;
+    }
+    PL_COUNT("engine.cache.evict", evicted);
+  }
+}
+
+CacheStats FrontierCache::stats() const {
+  CacheStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+  }
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    s.entries += sh->lru.size();
+  }
+  return s;
+}
+
+void FrontierCache::clear() {
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    sh->lru.clear();
+    sh->index.clear();
+  }
+}
+
+}  // namespace patlabor::engine

@@ -1,0 +1,99 @@
+// The engine's frontier cache: a sharded, mutex-striped LRU map from
+// canonical net keys to computed frontiers + topologies.
+//
+// Keys come from geom::canonicalize, so every net that is a translation /
+// axis swap / reflection of an already-routed net can be answered from the
+// cache.  Each entry also stores the exact pin sequence it answers
+// (canonical pins for the exact regime, native pins for the local-search
+// regime — see engine.hpp); a lookup only hits when the probe pins match,
+// which makes hash collisions harmless and enforces the determinism
+// contract for nets the symmetry argument does not cover.
+//
+// Concurrency: the key space is striped over independently locked shards.
+// A hit copies the entry out under the shard lock; computation happens
+// outside any lock; racing inserts of the same key are benign because the
+// engine only ever inserts bit-identical values for a given key.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "patlabor/geom/point.hpp"
+#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::engine {
+
+struct CacheOptions {
+  /// Maximum number of cached nets across all shards (0 disables caching).
+  std::size_t capacity = 1 << 13;
+  /// Number of mutex stripes; rounded up to a power of two.
+  std::size_t shards = 16;
+  /// Tri-state enable: unset defers to the PATLABOR_CACHE environment
+  /// variable ("0" disables, anything else — including unset — enables).
+  std::optional<bool> enabled;
+};
+
+/// Point-in-time counters.  hits/misses/evictions are cumulative; entries
+/// is the current population.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+/// A cached routing answer.  `pins` is the exact pin sequence this entry
+/// answers; `frontier`/`trees` are in that frame.
+struct CacheEntry {
+  std::vector<geom::Point> pins;
+  pareto::ObjVec frontier;
+  std::vector<tree::RoutingTree> trees;
+  int iterations = 0;
+};
+
+class FrontierCache {
+ public:
+  explicit FrontierCache(std::size_t capacity = 1 << 13,
+                         std::size_t shards = 16);
+
+  /// Copies the entry for (key, pins) out, bumping it to most-recent, or
+  /// returns nullopt.  A key match with different pins is a miss.
+  std::optional<CacheEntry> find(std::uint64_t key,
+                                 const std::vector<geom::Point>& pins);
+
+  /// Inserts (or refreshes) the entry for `key`, evicting the least
+  /// recently used entry of the shard if it is full.
+  void insert(std::uint64_t key, CacheEntry entry);
+
+  CacheStats stats() const;
+  void clear();
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<std::uint64_t, CacheEntry>> lru;
+    std::unordered_map<std::uint64_t, decltype(lru)::iterator> index;
+  };
+
+  Shard& shard_of(std::uint64_t key);
+
+  std::size_t capacity_;
+  std::size_t per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex stats_mu_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace patlabor::engine

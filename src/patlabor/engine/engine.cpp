@@ -1,0 +1,170 @@
+#include "patlabor/engine/engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "patlabor/geom/canonical.hpp"
+#include "patlabor/obs/obs.hpp"
+
+namespace patlabor::engine {
+
+namespace {
+
+bool cache_enabled_from_env() {
+  const char* v = std::getenv("PATLABOR_CACHE");
+  return v == nullptr || std::string_view(v) != "0";
+}
+
+/// Maps canonical-frame trees back into the original frame through the
+/// inverse isometry.  from_edges re-interns the nodes against the original
+/// net's pins, so pin ids and the structural hash come out exactly as a
+/// native-frame construction of the same tree would produce them.
+std::vector<tree::RoutingTree> map_back(
+    const std::vector<tree::RoutingTree>& trees, const geom::Isometry& back,
+    const geom::Net& net) {
+  std::vector<tree::RoutingTree> out;
+  out.reserve(trees.size());
+  std::vector<std::pair<geom::Point, geom::Point>> edges;
+  for (const tree::RoutingTree& ct : trees) {
+    edges.clear();
+    for (std::size_t v = 1; v < ct.num_nodes(); ++v)
+      if (ct.parent(v) >= 0)
+        edges.emplace_back(
+            back.apply(ct.node(v)),
+            back.apply(ct.node(static_cast<std::size_t>(ct.parent(v)))));
+    out.push_back(tree::RoutingTree::from_edges(net, edges));
+  }
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache.capacity, options_.cache.shards) {
+  if (options_.jobs != 0)
+    private_pool_ = std::make_unique<par::ThreadPool>(options_.jobs);
+  cache_enabled_ = options_.cache.enabled.value_or(cache_enabled_from_env()) &&
+                   options_.cache.capacity > 0;
+}
+
+void Engine::adopt_table(lut::LookupTable table) {
+  owned_table_ = std::move(table);
+}
+
+const lut::LookupTable* Engine::table() const {
+  if (options_.table != nullptr) return options_.table;
+  return owned_table_ ? &*owned_table_ : nullptr;
+}
+
+par::ThreadPool* Engine::pool() const { return private_pool_.get(); }
+
+RouterContext Engine::context() const {
+  RouterContext ctx;
+  ctx.table = table();
+  ctx.policy = options_.policy;
+  ctx.pool = pool();
+  ctx.lambda = options_.lambda;
+  ctx.iteration_factor = options_.iteration_factor;
+  ctx.refine = options_.refine;
+  return ctx;
+}
+
+core::PatLaborOptions Engine::patlabor_options() const {
+  core::PatLaborOptions opt;
+  opt.lambda = options_.lambda;
+  opt.table = table();
+  opt.policy = options_.policy;
+  opt.iteration_factor = options_.iteration_factor;
+  opt.refine = options_.refine;
+  opt.pool = pool();
+  return opt;
+}
+
+RouteResponse Engine::route_patlabor(const geom::Net& net) const {
+  // The exact-frontier regime of core::patlabor (see its implementation):
+  // below this the frontier is provably exact, a pure function of the pin
+  // geometry, and invariant under the canonicalization isometries.
+  const std::size_t lambda = std::min(
+      options_.lambda, static_cast<std::size_t>(lut::kMaxLutDegree));
+  const bool exact = net.degree() <= lambda || net.degree() <= 3;
+
+  geom::CanonicalNet canon;
+  std::uint64_t key = 0;
+  const std::vector<geom::Point>* entry_pins = nullptr;
+  if (exact) {
+    canon = geom::canonicalize(net);
+    key = canon.key;
+    entry_pins = &canon.net.pins;
+  } else {
+    key = geom::pin_sequence_hash(net.pins);
+    entry_pins = &net.pins;
+  }
+
+  if (cache_enabled_) {
+    if (auto hit = cache_.find(key, *entry_pins)) {
+      RouteResponse r;
+      r.frontier = std::move(hit->frontier);
+      r.trees = exact ? map_back(hit->trees, canon.to_canonical.inverse(), net)
+                      : std::move(hit->trees);
+      r.iterations = hit->iterations;
+      r.cache_hit = true;
+      return r;
+    }
+  }
+
+  // Exact-regime nets are routed in the canonical frame whether or not the
+  // cache is on — this is what makes a later cache hit (which replays the
+  // canonical-frame result) bit-identical to a miss.
+  const core::PatLaborResult result =
+      core::patlabor(exact ? canon.net : net, patlabor_options());
+
+  if (cache_enabled_) {
+    CacheEntry entry;
+    entry.pins = *entry_pins;
+    entry.frontier = result.frontier;
+    entry.trees = result.trees;
+    entry.iterations = result.iterations;
+    cache_.insert(key, std::move(entry));
+  }
+
+  RouteResponse r;
+  r.frontier = result.frontier;
+  r.trees = exact ? map_back(result.trees, canon.to_canonical.inverse(), net)
+                  : result.trees;
+  r.iterations = result.iterations;
+  return r;
+}
+
+RouteResponse Engine::route(const geom::Net& net,
+                            const RouteRequest& request) const {
+  PL_SPAN("engine.route");
+  const Method method = parse_method(request.method);
+  // PatLabor takes no sweep parameter; it always runs behind the cache.
+  if (method == Method::kPatLabor) return route_patlabor(net);
+
+  const std::unique_ptr<Router> router =
+      registry_.make(request.method, context(), request.params);
+  std::vector<tree::RoutingTree> trees = router->route(net);
+
+  // Pareto-filter the method's output into the uniform frontier shape:
+  // one representative tree per nondominated objective, w ascending.
+  const std::vector<pareto::Objective> objs = tree::objectives(trees);
+  RouteResponse r;
+  for (std::size_t idx : pareto::pareto_indices(objs)) {
+    r.frontier.push_back(objs[idx]);
+    r.trees.push_back(std::move(trees[idx]));
+  }
+  return r;
+}
+
+std::vector<RouteResponse> Engine::route_batch(
+    std::span<const geom::Net> nets, const RouteRequest& request) const {
+  PL_SPAN("engine.route_batch");
+  return par::parallel_transform(
+      nets.size(), [&](std::size_t i) { return route(nets[i], request); },
+      pool());
+}
+
+}  // namespace patlabor::engine

@@ -1,0 +1,129 @@
+// The routing engine: the long-lived serving facade of the repository.
+//
+// An Engine owns the immutable routing context — lookup table, trained
+// policy, thread pool — once, and serves every request through one
+// request/response API instead of callers re-threading options through the
+// free functions:
+//
+//   engine::Engine eng(opts);
+//   auto r = eng.route(net, {.method = "patlabor"});
+//   auto all = eng.route_batch(nets, {.method = "salt"});
+//
+// Methods are resolved by name through the MethodRegistry (see
+// registry.hpp); `patlabor` additionally runs behind the canonicalization-
+// keyed frontier cache:
+//
+//   * exact regime (degree <= lambda, where the frontier is provably
+//     exact): the net is canonicalized under translation / axis swap /
+//     reflection (geom::canonicalize — the LUT pattern symmetry group) and
+//     routed *in the canonical frame*, cache on or off; results are mapped
+//     back through the inverse isometry.  The exact frontier is invariant
+//     under isometries and the computation is a pure function of the
+//     canonical net, so all isomorphic nets share one cache entry and
+//     cache on/off is bit-identical by construction.
+//   * local-search regime (degree > lambda): the heuristic search is *not*
+//     isometry-equivariant (verified empirically), so nets are computed in
+//     their native frame and cached by exact pin sequence — re-serving
+//     repeated nets (e.g. across global-routing iterations) while never
+//     answering a merely-isomorphic net from a large-net entry.
+//
+// Either way the determinism contract of DESIGN.md §7 extends to the
+// cache: for every net, cache on, cache off, a cache hit, and any --jobs
+// value produce bit-identical frontiers and trees.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "patlabor/core/patlabor.hpp"
+#include "patlabor/engine/cache.hpp"
+#include "patlabor/engine/registry.hpp"
+#include "patlabor/engine/router.hpp"
+#include "patlabor/geom/net.hpp"
+#include "patlabor/lut/lut.hpp"
+#include "patlabor/par/pool.hpp"
+
+namespace patlabor::engine {
+
+struct EngineOptions {
+  /// PatLabor's λ (exact-frontier threshold and sub-problem size).
+  std::size_t lambda = 9;
+  /// Optional lookup table, owned by the caller and outliving the engine.
+  /// Alternatively pass ownership via Engine::adopt_table.
+  const lut::LookupTable* table = nullptr;
+  /// Pin-selection policy for the local search.
+  core::Policy policy;
+  /// PatLabor local-search iteration multiplier.
+  int iteration_factor = 2;
+  /// Shared post-processing (see baselines::SweepOptions::refine).
+  bool refine = true;
+  /// Parallelism for route_batch and the local search: 0 uses the global
+  /// pool; any other value gives the engine a private pool of that size.
+  std::size_t jobs = 0;
+  /// Frontier-cache sizing and enablement (see CacheOptions).
+  CacheOptions cache;
+};
+
+/// One routing request.  Defaults to the full PatLabor frontier.
+struct RouteRequest {
+  std::string method = "patlabor";
+  /// Sweep parameter overrides (alpha / epsilon / beta); empty uses
+  /// default_params(method).  Ignored by parameterless methods.
+  std::vector<double> params;
+};
+
+struct RouteResponse {
+  pareto::ObjVec frontier;               ///< Pareto curve, w ascending
+  std::vector<tree::RoutingTree> trees;  ///< parallel to frontier
+  int iterations = 0;                    ///< PatLabor local-search rounds
+  bool cache_hit = false;                ///< answered from the cache
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Transfers ownership of a lookup table to the engine (e.g. one loaded
+  /// from disk).  Call before routing; not thread-safe against route().
+  void adopt_table(lut::LookupTable table);
+
+  /// Routes one net.  Thread-safe: the context is immutable and the cache
+  /// internally synchronized.  Throws std::invalid_argument on unknown
+  /// method names.
+  RouteResponse route(const geom::Net& net,
+                      const RouteRequest& request = {}) const;
+
+  /// Routes every net (in parallel over the engine's pool), results in
+  /// input order, bit-identical for every pool size.
+  std::vector<RouteResponse> route_batch(std::span<const geom::Net> nets,
+                                         const RouteRequest& request = {}) const;
+
+  const MethodRegistry& registry() const { return registry_; }
+  /// The context handed to Routers (table resolved, pool attached).
+  RouterContext context() const;
+
+  bool cache_enabled() const { return cache_enabled_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  RouteResponse route_patlabor(const geom::Net& net) const;
+  core::PatLaborOptions patlabor_options() const;
+  const lut::LookupTable* table() const;
+  par::ThreadPool* pool() const;
+
+  EngineOptions options_;
+  std::optional<lut::LookupTable> owned_table_;
+  std::unique_ptr<par::ThreadPool> private_pool_;
+  MethodRegistry registry_;
+  mutable FrontierCache cache_;
+  bool cache_enabled_ = true;
+};
+
+}  // namespace patlabor::engine

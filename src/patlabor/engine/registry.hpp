@@ -1,0 +1,60 @@
+// The method registry: name -> Router factory for all seven constructors.
+//
+// The registry is the single source of truth for which methods exist; the
+// CLI's --method / --list-methods and the Engine's RouteRequest resolution
+// both go through it.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "patlabor/engine/router.hpp"
+
+namespace patlabor::engine {
+
+/// Every routing method served by the engine.
+enum class Method { kPatLabor, kPd, kPdii, kSalt, kYsd, kRsmt, kRsma };
+
+/// Registry name of a method ("patlabor", "pd", "pdii", "salt", "ysd",
+/// "rsmt", "rsma").
+std::string_view method_name(Method m);
+
+/// Parses a registry name; throws std::invalid_argument on unknown names
+/// (the message lists the valid ones).
+Method parse_method(std::string_view name);
+
+/// The method's default sweep parameters — the same sweeps the experiment
+/// binaries use (default_alphas / default_epsilons / default_betas); empty
+/// for parameterless methods (patlabor, rsmt, rsma).
+std::vector<double> default_params(Method m);
+
+class MethodRegistry {
+ public:
+  /// A registry pre-populated with the seven built-in constructors.
+  MethodRegistry();
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+  /// Metadata for one method; throws std::invalid_argument if unknown.
+  const RouterInfo& info(std::string_view name) const;
+
+  /// Builds a Router for `name` over the given context.  `params`
+  /// overrides the sweep parameters (empty = default_params).  Throws
+  /// std::invalid_argument on unknown names.
+  std::unique_ptr<Router> make(std::string_view name, const RouterContext& ctx,
+                               std::span<const double> params = {}) const;
+
+ private:
+  struct Entry {
+    RouterInfo info;
+    Method method;
+  };
+  std::vector<Entry> entries_;
+  const Entry& find(std::string_view name) const;
+};
+
+}  // namespace patlabor::engine

@@ -1,0 +1,57 @@
+// The unified Router interface: every tree constructor in the repository
+// (PatLabor, PD / PD-II, SALT, YSD, RSMT, RSMA) behind one virtual call
+// plus capability metadata, so the engine, CLI and benches can treat all
+// seven methods uniformly instead of hard-coding per-baseline branches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "patlabor/core/policy.hpp"
+#include "patlabor/geom/net.hpp"
+#include "patlabor/lut/lut.hpp"
+#include "patlabor/par/pool.hpp"
+#include "patlabor/tree/routing_tree.hpp"
+
+namespace patlabor::engine {
+
+/// The immutable routing context a Router draws on; owned by the Engine
+/// and shared by every request.
+struct RouterContext {
+  const lut::LookupTable* table = nullptr;  ///< optional accelerator
+  core::Policy policy;                      ///< PatLabor pin selection
+  par::ThreadPool* pool = nullptr;          ///< nullptr = global pool
+  std::size_t lambda = 9;                   ///< PatLabor's λ
+  int iteration_factor = 2;                 ///< PatLabor local search
+  bool refine = true;                       ///< shared post-processing
+};
+
+/// Capability metadata for a registered method.
+struct RouterInfo {
+  std::string name;         ///< registry key, e.g. "salt"
+  std::string description;  ///< one line for --list-methods
+  /// True when route() returns one tree per Pareto point of the method's
+  /// own frontier (PatLabor); false when it returns one tree per sweep
+  /// parameter and the caller Pareto-filters (baselines) or a single tree
+  /// (rsmt / rsma).
+  bool produces_frontier = false;
+  /// Name of the sweep parameter ("alpha", "epsilon", "beta") or empty
+  /// when the method takes none.
+  std::string sweep_param;
+};
+
+/// One routing method.  Implementations wrap today's free functions; they
+/// are immutable after construction and safe to call concurrently.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Routes one net, returning every tree the method produces (a frontier,
+  /// a sweep, or a single tree — see RouterInfo::produces_frontier).
+  virtual std::vector<tree::RoutingTree> route(const geom::Net& net) const = 0;
+
+  virtual const RouterInfo& info() const = 0;
+};
+
+}  // namespace patlabor::engine

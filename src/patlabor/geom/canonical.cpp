@@ -1,0 +1,95 @@
+#include "patlabor/geom/canonical.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace patlabor::geom {
+
+Isometry Isometry::inverse() const {
+  Isometry inv;
+  inv.m = {m[0], m[2], m[1], m[3]};
+  const Point mt{inv.m[0] * t.x + inv.m[1] * t.y,
+                 inv.m[2] * t.x + inv.m[3] * t.y};
+  inv.t = Point{-mt.x, -mt.y};
+  return inv;
+}
+
+Isometry symmetry(int sym) {
+  assert(sym >= 0 && sym < kNumSymmetries);
+  std::array<Coord, 4> m{1, 0, 0, 1};
+  if (sym & 1) m = {0, 1, 1, 0};
+  if (sym & 2) {
+    m[0] = -m[0];
+    m[1] = -m[1];
+  }
+  if (sym & 4) {
+    m[2] = -m[2];
+    m[3] = -m[3];
+  }
+  Isometry iso;
+  iso.m = m;
+  return iso;
+}
+
+Isometry box_symmetry(int sym, Coord w, Coord h) {
+  Isometry iso = symmetry(sym);
+  // Image of the box corners under the linear part; translate the min
+  // corner back to the origin.  The box is axis-aligned and the linear part
+  // a signed permutation, so the min over the two extreme corners suffices.
+  const Point a = iso.apply(Point{0, 0});
+  const Point b = iso.apply(Point{w, h});
+  iso.t = Point{-std::min(a.x, b.x), -std::min(a.y, b.y)};
+  return iso;
+}
+
+std::uint64_t pin_sequence_hash(std::span<const Point> pins) {
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffULL;
+      h *= kPrime;
+    }
+  };
+  mix(pins.size());
+  for (const Point& p : pins) {
+    mix(static_cast<std::uint64_t>(p.x));
+    mix(static_cast<std::uint64_t>(p.y));
+  }
+  return h;
+}
+
+CanonicalNet canonicalize(const Net& net) {
+  assert(!net.pins.empty());
+  CanonicalNet best;
+  bool have = false;
+  std::vector<Point> mapped;
+  for (int s = 0; s < kNumSymmetries; ++s) {
+    Isometry iso = symmetry(s);
+    mapped.clear();
+    mapped.reserve(net.pins.size());
+    for (const Point& p : net.pins) mapped.push_back(iso.apply(p));
+    Coord mnx = mapped[0].x, mny = mapped[0].y;
+    for (const Point& p : mapped) {
+      mnx = std::min(mnx, p.x);
+      mny = std::min(mny, p.y);
+    }
+    for (Point& p : mapped) {
+      p.x -= mnx;
+      p.y -= mny;
+    }
+    iso.t = Point{-mnx, -mny};
+    std::sort(mapped.begin() + 1, mapped.end());
+    if (!have || mapped < best.net.pins) {
+      have = true;
+      best.net.pins = mapped;
+      best.to_canonical = iso;
+    }
+  }
+  best.key = pin_sequence_hash(best.net.pins);
+  return best;
+}
+
+}  // namespace patlabor::geom

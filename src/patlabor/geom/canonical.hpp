@@ -1,0 +1,86 @@
+// Net canonicalization under the symmetry group of the square plus
+// translation — the group the lookup table's pattern canonicalization
+// already exploits (lut/pattern encodes the same 8 symmetries with the same
+// bit flags: bit0 = transpose, bit1 = flip x, bit2 = flip y).
+//
+// Where lut/pattern works in *rank space* (coordinates abstracted away),
+// canonicalize() works on actual coordinates: two nets have the same
+// canonical form iff one can be mapped onto the other by a translation,
+// axis swap, and/or reflection.  The engine's frontier cache keys on this
+// canonical form, so isomorphic nets share one cache entry and cached trees
+// are mapped back through the inverse isometry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "patlabor/geom/net.hpp"
+#include "patlabor/geom/point.hpp"
+
+namespace patlabor::geom {
+
+/// The 8 symmetries of the square, same encoding as lut::kNumTransforms.
+inline constexpr int kNumSymmetries = 8;
+
+/// A coordinate isometry: a signed-permutation linear part (one of the 8
+/// square symmetries) followed by a translation.  Closed under inverse and
+/// exact in integer arithmetic.
+struct Isometry {
+  /// Row-major 2x2 matrix; always a signed permutation matrix.
+  std::array<Coord, 4> m{1, 0, 0, 1};
+  Point t{0, 0};
+
+  Point apply(const Point& p) const {
+    return Point{m[0] * p.x + m[1] * p.y + t.x,
+                 m[2] * p.x + m[3] * p.y + t.y};
+  }
+
+  /// Exact inverse: the linear part is orthogonal (inverse == transpose),
+  /// and t' = -M^T t.
+  Isometry inverse() const;
+
+  friend bool operator==(const Isometry&, const Isometry&) = default;
+};
+
+/// The linear part of symmetry `sym` in [0, kNumSymmetries): bit0 applies a
+/// transpose (swap x/y), then bit1 flips x, then bit2 flips y.  No
+/// translation component.
+Isometry symmetry(int sym);
+
+/// The isometry realizing symmetry `sym` on the box [0,w] x [0,h]: the
+/// linear part of symmetry(sym) followed by the translation that moves the
+/// image box back onto the origin (a transposed image lands on [0,h] x
+/// [0,w]).  For w == h == n-1 this is exactly lut::transform_point's action
+/// on rank space.
+Isometry box_symmetry(int sym, Coord w, Coord h);
+
+/// A net's canonical form plus the transform that produced it.
+struct CanonicalNet {
+  /// Canonical pins: source first, then sinks sorted lexicographically;
+  /// bounding-box min at the origin.  The name is dropped (not part of the
+  /// canonical identity).
+  Net net;
+  /// Maps original coordinates onto canonical ones; use .inverse() to map
+  /// canonical-frame trees back into the original frame.
+  Isometry to_canonical;
+  /// FNV-1a hash of the canonical pin sequence (degree + coordinates).
+  /// Equal canonical nets hash equal; used as the cache key.
+  std::uint64_t key = 0;
+};
+
+/// Hash of a pin sequence, order-sensitive (callers pass canonical order).
+std::uint64_t pin_sequence_hash(std::span<const Point> pins);
+
+/// Canonical form of `net` under translation, axis swap, and reflection:
+/// for each of the 8 symmetries, map all pins, translate the bounding-box
+/// min to the origin, sort the sinks; keep the lexicographically smallest
+/// pin sequence (ties broken by smallest symmetry index, so the result is
+/// deterministic).  Idempotent: canonicalize(c.net).net == c.net.
+///
+/// Requires net.pins to be non-empty.  The source keeps index 0 — nets
+/// whose pin *sets* coincide but whose sources differ canonicalize
+/// differently, matching the routing problem's asymmetry.
+CanonicalNet canonicalize(const Net& net);
+
+}  // namespace patlabor::geom

@@ -1,8 +1,12 @@
 #include "patlabor/io/netfile.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <map>
 #include <sstream>
-#include <stdexcept>
+#include <utility>
+
+#include "patlabor/util/str.hpp"
 
 namespace patlabor::io {
 
@@ -17,38 +21,73 @@ void write_nets(const std::string& path, const std::vector<geom::Net>& nets) {
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
+namespace {
+
+/// Whitespace tokens of `line` with any '#' comment stripped first.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::string code = line.substr(0, line.find('#'));
+  std::istringstream in(code);
+  std::vector<std::string> toks;
+  std::string t;
+  while (in >> t) toks.push_back(t);
+  return toks;
+}
+
+}  // namespace
+
 std::vector<geom::Net> read_nets(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::vector<geom::Net> nets;
   std::string line;
   std::size_t line_no = 0;
+  const auto fail = [&](const std::string& reason) {
+    throw NetFileError(path, line_no, reason);
+  };
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
-    std::istringstream head(line);
-    std::string tag;
-    head >> tag;
-    if (tag != "net")
-      throw std::runtime_error(path + ":" + std::to_string(line_no) +
-                               ": expected 'net'");
+    const std::vector<std::string> head = tokens_of(line);
+    if (head.empty()) continue;
+    if (head[0] != "net") fail("expected 'net <name> <degree>'");
+    if (head.size() != 3)
+      fail("malformed net header (expected 'net <name> <degree>', got " +
+           std::to_string(head.size()) + " tokens)");
+    const auto degree = util::parse_u64(head[2]);
+    if (!degree) fail("invalid degree '" + head[2] + "'");
+    if (*degree < 2)
+      fail("degree must be at least 2 (one source, one sink), got " +
+           head[2]);
+
     geom::Net net;
-    std::size_t degree = 0;
-    head >> net.name >> degree;
-    if (!head || degree == 0)
-      throw std::runtime_error(path + ":" + std::to_string(line_no) +
-                               ": malformed net header");
-    if (net.name == "-") net.name.clear();
-    for (std::size_t i = 0; i < degree; ++i) {
-      if (!std::getline(in, line))
-        throw std::runtime_error(path + ": truncated net '" + net.name + "'");
+    net.name = head[1] == "-" ? "" : head[1];
+    net.pins.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(*degree, 1u << 20)));
+    // First-occurrence line of each pin, to report duplicates precisely.
+    std::map<geom::Point, std::size_t> seen;
+    for (std::uint64_t i = 0; i < *degree; ++i) {
+      if (!std::getline(in, line)) {
+        ++line_no;
+        fail("truncated net '" + net.name + "' (" + std::to_string(i) +
+             " of " + std::to_string(*degree) + " pins)");
+      }
       ++line_no;
-      std::istringstream coords(line);
-      geom::Point p;
-      coords >> p.x >> p.y;
-      if (!coords)
-        throw std::runtime_error(path + ":" + std::to_string(line_no) +
-                                 ": malformed coordinate");
+      const std::vector<std::string> coords = tokens_of(line);
+      if (coords.empty()) {
+        --i;  // blank / comment-only lines are allowed between pins
+        continue;
+      }
+      if (coords.size() != 2)
+        fail("expected '<x> <y>', got " + std::to_string(coords.size()) +
+             " tokens");
+      const auto x = util::parse_i64(coords[0]);
+      const auto y = util::parse_i64(coords[1]);
+      if (!x) fail("non-numeric coordinate '" + coords[0] + "'");
+      if (!y) fail("non-numeric coordinate '" + coords[1] + "'");
+      const geom::Point p{*x, *y};
+      const auto [it, inserted] = seen.emplace(p, line_no);
+      if (!inserted)
+        fail("duplicate pin (" + coords[0] + ", " + coords[1] +
+             "), first seen on line " + std::to_string(it->second));
       net.pins.push_back(p);
     }
     nets.push_back(std::move(net));

@@ -4,8 +4,16 @@
 //   net <name> <degree>
 //   <x> <y>          # source first, then sinks
 //   ...
+//
+// Blank lines are skipped and '#' starts a comment (to end of line, also
+// after tokens).  The reader is strict: a malformed header, non-numeric or
+// extra tokens, a degree below 2, a truncated net, or duplicate pins raise
+// NetFileError carrying the offending line number — never UB or a silent
+// zero from atoll-style parsing.
 #pragma once
 
+#include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,10 +21,26 @@
 
 namespace patlabor::io {
 
+/// Malformed net file.  what() reads "<path>:<line>: <reason>".
+class NetFileError : public std::runtime_error {
+ public:
+  NetFileError(const std::string& path, std::size_t line,
+               const std::string& reason)
+      : std::runtime_error(path + ":" + std::to_string(line) + ": " + reason),
+        line_(line) {}
+
+  /// 1-based line number of the offending input line.
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
 /// Writes nets to a file; throws on I/O errors.
 void write_nets(const std::string& path, const std::vector<geom::Net>& nets);
 
-/// Reads nets; throws on malformed input (bad counts, missing coordinates).
+/// Reads nets; throws NetFileError on malformed input and
+/// std::runtime_error when the file cannot be opened.
 std::vector<geom::Net> read_nets(const std::string& path);
 
 }  // namespace patlabor::io

@@ -5,7 +5,12 @@
 #include <limits>
 #include <numeric>
 
+#include "patlabor/geom/canonical.hpp"
+
 namespace patlabor::lut {
+
+static_assert(kNumTransforms == geom::kNumSymmetries,
+              "rank-space transforms and geom symmetries are one group");
 
 std::uint64_t pattern_code(const PinPattern& p) {
   std::uint64_t code = static_cast<std::uint64_t>(p.n);
@@ -18,20 +23,24 @@ std::uint64_t joint_code(const PinPattern& p) {
   return (pattern_code(p) << 4) | p.source;
 }
 
+namespace {
+
+// Rank space is the box [0, n-1] x [0, n-1]; the 8 rank-space transforms
+// are geom::box_symmetry restricted to that square.
+RankPoint rank_apply(const geom::Isometry& iso, RankPoint p) {
+  const geom::Point q = iso.apply(geom::Point{p.x, p.y});
+  return RankPoint{static_cast<std::uint8_t>(q.x),
+                   static_cast<std::uint8_t>(q.y)};
+}
+
+}  // namespace
+
 RankPoint transform_point(RankPoint p, int t, int n) {
-  const auto last = static_cast<std::uint8_t>(n - 1);
-  if (t & 1) std::swap(p.x, p.y);                       // transpose
-  if (t & 2) p.x = static_cast<std::uint8_t>(last - p.x);  // flip x
-  if (t & 4) p.y = static_cast<std::uint8_t>(last - p.y);  // flip y
-  return p;
+  return rank_apply(geom::box_symmetry(t, n - 1, n - 1), p);
 }
 
 RankPoint inverse_transform_point(RankPoint p, int t, int n) {
-  const auto last = static_cast<std::uint8_t>(n - 1);
-  if (t & 4) p.y = static_cast<std::uint8_t>(last - p.y);
-  if (t & 2) p.x = static_cast<std::uint8_t>(last - p.x);
-  if (t & 1) std::swap(p.x, p.y);
-  return p;
+  return rank_apply(geom::box_symmetry(t, n - 1, n - 1).inverse(), p);
 }
 
 PinPattern apply_transform(const PinPattern& p, int t) {

@@ -7,12 +7,28 @@ namespace patlabor::netgen {
 
 using geom::Point;
 
+namespace {
+
+// Real netlists place pins at distinct locations; a coincident draw is
+// rejected and redrawn (io::read_nets likewise rejects duplicate pins, so
+// generated instances must round-trip through net files).  The draw keeps
+// its RNG stream deterministic: a retry consumes draws, but only as a
+// function of the draws themselves.
+bool push_if_new(Net& net, Point p) {
+  for (const Point& q : net.pins)
+    if (q == p) return false;
+  net.pins.push_back(p);
+  return true;
+}
+
+}  // namespace
+
 Net uniform_net(util::Rng& rng, std::size_t degree, Coord window) {
   Net net;
   net.pins.reserve(degree);
   while (net.pins.size() < degree)
-    net.pins.push_back(
-        Point{rng.uniform_int(0, window), rng.uniform_int(0, window)});
+    push_if_new(net,
+                Point{rng.uniform_int(0, window), rng.uniform_int(0, window)});
   return net;
 }
 
@@ -27,7 +43,7 @@ Net smoothed_net(util::Rng& rng, std::size_t degree, double kappa,
     return static_cast<Coord>(
         std::llround(v * static_cast<double>(resolution)));
   };
-  while (net.pins.size() < degree) net.pins.push_back(Point{coord(), coord()});
+  while (net.pins.size() < degree) push_if_new(net, Point{coord(), coord()});
   return net;
 }
 
@@ -64,7 +80,8 @@ Net clustered_net(util::Rng& rng, std::size_t degree, Coord window) {
   }
   while (net.pins.size() < degree) {
     const Point& c = centers[rng.index(centers.size())];
-    net.pins.push_back(
+    push_if_new(
+        net,
         Point{clamp_coord(static_cast<double>(c.x) + sigma * rng.normal(), ox,
                           ox + extent),
               clamp_coord(static_cast<double>(c.y) + sigma * rng.normal(), oy,

@@ -4,6 +4,10 @@
 //
 // Quick tour (see README.md for a walkthrough):
 //   geom::Net net = ...;                        // pins[0] is the source
+//   engine::Engine eng({.table = &table});      // long-lived facade
+//   auto r = eng.route(net);                    // cached PatLabor frontier
+//   auto s = eng.route(net, {.method = "salt"});// any registered method
+// or the underlying free functions:
 //   auto exact   = dw::pareto_dw(net);          // exact frontier, n <= ~10
 //   auto table   = lut::LookupTable::generate(6);
 //   core::PatLaborOptions opt; opt.table = &table;
@@ -13,6 +17,7 @@
 
 #include "patlabor/baselines/pd.hpp"
 #include "patlabor/baselines/salt.hpp"
+#include "patlabor/baselines/sweep.hpp"
 #include "patlabor/baselines/ysd.hpp"
 #include "patlabor/core/batch.hpp"
 #include "patlabor/core/pareto_ks.hpp"
@@ -20,11 +25,16 @@
 #include "patlabor/core/policy.hpp"
 #include "patlabor/core/trainer.hpp"
 #include "patlabor/dw/pareto_dw.hpp"
+#include "patlabor/engine/cache.hpp"
+#include "patlabor/engine/engine.hpp"
+#include "patlabor/engine/registry.hpp"
+#include "patlabor/engine/router.hpp"
 #include "patlabor/eval/curves.hpp"
 #include "patlabor/eval/metrics.hpp"
 #include "patlabor/exactlp/dominance_prover.hpp"
 #include "patlabor/exactlp/simplex.hpp"
 #include "patlabor/geom/box.hpp"
+#include "patlabor/geom/canonical.hpp"
 #include "patlabor/geom/hanan.hpp"
 #include "patlabor/geom/net.hpp"
 #include "patlabor/io/csv.hpp"

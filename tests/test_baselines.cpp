@@ -73,7 +73,7 @@ TEST(PdSweep, ProducesOneTreePerAlpha) {
   util::Rng rng(85);
   const Net net = testing::random_net(rng, 8);
   const auto alphas = baselines::default_alphas();
-  const auto trees = baselines::pd_sweep(net, alphas, true);
+  const auto trees = baselines::pd_sweep(net, alphas, {.refine = true});
   EXPECT_EQ(trees.size(), alphas.size());
   for (const auto& t : trees) EXPECT_TRUE(t.validate().empty());
 }

@@ -83,6 +83,33 @@ int main(int argc, char** argv) {
   check(run("\"" + cli + "\" route " + nets + " --jobs 2") == 0,
         "route --jobs 2 succeeds");
 
+  // Engine surface: method selection, discovery, and the cache switch.
+  check(run("\"" + cli + "\" route --list-methods") == 0,
+        "route --list-methods succeeds without an input file");
+  check(run("\"" + cli + "\" route " + nets + " --method salt") == 0,
+        "route --method salt succeeds");
+  check(run("\"" + cli + "\" route " + nets +
+            " --method pd --params 0.0,0.5,1.0") == 0,
+        "route --method pd --params succeeds");
+  check(run("\"" + cli + "\" route " + nets + " --no-cache --stats") == 0,
+        "route --no-cache succeeds");
+  check(exit_code(run("\"" + cli + "\" route " + nets + " --method nope")) ==
+            2,
+        "unknown --method rejected with exit code 2");
+  check(exit_code(run("\"" + cli + "\" route " + nets +
+                      " --method pd --params 0.5,oops")) == 2,
+        "non-numeric --params rejected with exit code 2");
+
+  // Malformed net files exit 2 with a diagnostic, not a crash.
+  const std::string bad = "cli_trace_bad.nets";
+  {
+    std::ofstream out(bad);
+    out << "net broken 3\n0 0\n0 0\n1 1\n";  // duplicate pin
+  }
+  check(exit_code(run("\"" + cli + "\" route " + bad)) == 2,
+        "malformed net file rejected with exit code 2");
+  std::remove(bad.c_str());
+
   const std::string text = read_file(trace);
   check(!text.empty(), "trace file written and non-empty");
 

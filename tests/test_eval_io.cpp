@@ -149,6 +149,76 @@ TEST(NetFile, RejectsMalformedInput) {
   std::remove(path.c_str());
 }
 
+/// Writes `content` to a temp file and returns the NetFileError the loader
+/// raises on it (failing the test if it does not throw).
+io::NetFileError load_error(const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/pl_bad_detail.txt";
+  {
+    std::ofstream out(path);
+    out << content;
+  }
+  try {
+    io::read_nets(path);
+  } catch (const io::NetFileError& e) {
+    std::remove(path.c_str());
+    return e;
+  }
+  std::remove(path.c_str());
+  ADD_FAILURE() << "expected NetFileError on:\n" << content;
+  return io::NetFileError(path, 0, "did not throw");
+}
+
+TEST(NetFile, ErrorsCarryTheOffendingLineNumber) {
+  const io::NetFileError dup = load_error("net a 3\n1 2\n3 4\n1 2\n");
+  EXPECT_EQ(dup.line(), 4u);
+  EXPECT_NE(std::string(dup.what()).find(":4: duplicate pin (1, 2)"),
+            std::string::npos)
+      << dup.what();
+  EXPECT_NE(std::string(dup.what()).find("first seen on line 2"),
+            std::string::npos)
+      << dup.what();
+
+  const io::NetFileError deg = load_error("net tiny 1\n0 0\n");
+  EXPECT_EQ(deg.line(), 1u);
+  EXPECT_NE(std::string(deg.what()).find("degree must be at least 2"),
+            std::string::npos)
+      << deg.what();
+
+  const io::NetFileError coord = load_error("net a 2\n0 0\n5 x\n");
+  EXPECT_EQ(coord.line(), 3u);
+  EXPECT_NE(std::string(coord.what()).find("non-numeric coordinate 'x'"),
+            std::string::npos)
+      << coord.what();
+
+  const io::NetFileError extra = load_error("net a 2\n0 0\n1 2 3\n");
+  EXPECT_EQ(extra.line(), 3u);
+
+  const io::NetFileError header = load_error("net a two\n0 0\n1 1\n");
+  EXPECT_EQ(header.line(), 1u);
+
+  const io::NetFileError truncated = load_error("net a 3\n0 0\n1 1\n");
+  EXPECT_GE(truncated.line(), 3u);
+}
+
+TEST(NetFile, CommentsAndBlankLinesAreAccepted) {
+  const std::string path = ::testing::TempDir() + "/pl_commented.txt";
+  {
+    std::ofstream out(path);
+    out << "# a hand-written instance\n"
+           "\n"
+           "net a 2  # trailing comment on the header\n"
+           "0 0   # source\n"
+           "\n"
+           "5 5\n";
+  }
+  const auto nets = io::read_nets(path);
+  ASSERT_EQ(nets.size(), 1u);
+  EXPECT_EQ(nets[0].name, "a");
+  const std::vector<geom::Point> expected{{0, 0}, {5, 5}};
+  EXPECT_EQ(nets[0].pins, expected);
+  std::remove(path.c_str());
+}
+
 TEST(Svg, TreeAndCurveDocumentsAreWellFormedEnough) {
   geom::Net net;
   net.pins = {{0, 0}, {50, 80}, {90, 20}};

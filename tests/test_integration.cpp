@@ -70,7 +70,8 @@ TEST_F(IntegrationSuite, BaselinesNeverBeatTheExactFrontier) {
     all.push_back(pareto::pareto_filter(
         tree::objectives(baselines::ysd_sweep(net, baselines::default_betas()))));
     all.push_back(pareto::pareto_filter(tree::objectives(
-        baselines::pd_sweep(net, baselines::default_alphas(), true))));
+        baselines::pd_sweep(net, baselines::default_alphas(),
+                            {.refine = true}))));
     for (const auto& found : all)
       for (const auto& s : found)
         EXPECT_TRUE(pareto::covers(exact, s))

@@ -13,6 +13,7 @@
 
 #include "patlabor/core/batch.hpp"
 #include "patlabor/core/patlabor.hpp"
+#include "patlabor/engine/engine.hpp"
 #include "patlabor/lut/lut.hpp"
 #include "patlabor/netgen/netgen.hpp"
 #include "patlabor/obs/obs.hpp"
@@ -190,6 +191,76 @@ TEST(Determinism, RouteBatchIsIdenticalForAnyJobCountAndRun) {
     for (std::size_t t = 0; t < r1[i].trees.size(); ++t)
       EXPECT_EQ(r1[i].trees[t].structural_hash(),
                 r4[i].trees[t].structural_hash())
+          << "net " << i << " tree " << t;
+  }
+}
+
+TEST(Determinism, EngineCacheOnOffIsIdenticalForAnyJobCountAndRun) {
+  // The engine extends the route_batch contract: cache on, cache off, any
+  // job count, and repeated runs (= cache hits on the second pass) are all
+  // bit-identical.
+  const lut::LookupTable table = lut::LookupTable::generate(5);
+  std::vector<geom::Net> nets;
+  util::Rng rng(99);
+  for (std::size_t d : {3u, 5u, 8u, 12u, 15u, 18u})
+    nets.push_back(netgen::clustered_net(rng, d));
+  // Repeat the whole list so the warm half of each run is served from the
+  // cache when it is enabled.
+  const std::vector<geom::Net> base = nets;
+  nets.insert(nets.end(), base.begin(), base.end());
+
+  const auto engine_route = [&](bool cache_on, std::size_t jobs) {
+    engine::EngineOptions opt;
+    opt.table = &table;
+    opt.lambda = 7;
+    opt.jobs = jobs;
+    opt.cache.enabled = cache_on;
+    const engine::Engine eng(opt);
+    return eng.route_batch(nets);
+  };
+
+  const auto golden = engine_route(false, 1);
+  for (const bool cache_on : {false, true}) {
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+      const auto got = engine_route(cache_on, jobs);
+      ASSERT_EQ(got.size(), golden.size());
+      for (std::size_t i = 0; i < golden.size(); ++i) {
+        EXPECT_EQ(got[i].frontier, golden[i].frontier)
+            << "cache " << cache_on << " jobs " << jobs << " net " << i;
+        EXPECT_EQ(got[i].iterations, golden[i].iterations) << "net " << i;
+        ASSERT_EQ(got[i].trees.size(), golden[i].trees.size()) << "net " << i;
+        for (std::size_t t = 0; t < golden[i].trees.size(); ++t)
+          EXPECT_EQ(got[i].trees[t].structural_hash(),
+                    golden[i].trees[t].structural_hash())
+              << "cache " << cache_on << " jobs " << jobs << " net " << i
+              << " tree " << t;
+      }
+    }
+  }
+}
+
+TEST(Determinism, DeprecatedRouteBatchShimMatchesTheEngine) {
+  // core::route_batch is now a shim over the engine; the golden compare
+  // against the engine API keeps the deprecated surface honest.
+  const lut::LookupTable table = lut::LookupTable::generate(4);
+  std::vector<geom::Net> nets;
+  util::Rng rng(13);
+  for (std::size_t d : {4u, 9u, 13u}) nets.push_back(netgen::uniform_net(rng, d));
+
+  const auto shim = route_with_jobs(nets, table, 2);
+  engine::EngineOptions opt;
+  opt.table = &table;
+  opt.lambda = 7;
+  opt.jobs = 2;
+  const engine::Engine eng(opt);
+  const auto direct = eng.route_batch(nets);
+  ASSERT_EQ(shim.size(), direct.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    EXPECT_EQ(shim[i].frontier, direct[i].frontier) << "net " << i;
+    ASSERT_EQ(shim[i].trees.size(), direct[i].trees.size());
+    for (std::size_t t = 0; t < shim[i].trees.size(); ++t)
+      EXPECT_EQ(shim[i].trees[t].structural_hash(),
+                direct[i].trees[t].structural_hash())
           << "net " << i << " tree " << t;
   }
 }

@@ -2,11 +2,19 @@
 //
 //   patlabor_cli gen  <uniform|clustered|smoothed> <count> <degree> <out.nets>
 //                     [seed] [kappa]
-//   patlabor_cli route <in.nets> [--lut <path>] [--lambda N] [--jobs N]
+//   patlabor_cli route <in.nets> [--method <name>] [--params a,b,...]
+//                      [--lut <path>] [--lambda N] [--jobs N] [--no-cache]
 //                      [--csv <out.csv>] [--stats] [--trace <out.json>]
+//   patlabor_cli route --list-methods
 //   patlabor_cli lutgen <max_degree> <out.bin> [--jobs N] [--stats]
 //                       [--trace <out.json>]
 //   patlabor_cli lutinfo <table.bin>
+//
+// route serves every request through engine::Engine: --method picks any
+// registered constructor (--list-methods enumerates them), --params
+// overrides its sweep parameters, and repeated PatLabor net shapes are
+// answered from the canonicalization-keyed frontier cache (--no-cache or
+// PATLABOR_CACHE=0 disables it; output is bit-identical either way).
 //
 // --jobs N (or the PATLABOR_JOBS env var) sets the thread-pool size for
 // batch routing and LUT generation; the default is the hardware
@@ -43,8 +51,10 @@ int usage() {
       "usage:\n"
       "  patlabor_cli gen <uniform|clustered|smoothed> <count> <degree> "
       "<out.nets> [seed] [kappa]\n"
-      "  patlabor_cli route <in.nets> [--lut <path>] [--lambda N] "
-      "[--jobs N] [--csv <out.csv>] [--stats] [--trace <out.json>]\n"
+      "  patlabor_cli route <in.nets> [--method <name>] [--params a,b,...] "
+      "[--lut <path>] [--lambda N] [--jobs N] [--no-cache] [--csv <out.csv>] "
+      "[--stats] [--trace <out.json>]\n"
+      "  patlabor_cli route --list-methods\n"
       "  patlabor_cli lutgen <max_degree> <out.bin> [--jobs N] [--stats] "
       "[--trace <out.json>]\n"
       "  patlabor_cli lutinfo <table.bin>\n");
@@ -146,22 +156,56 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
+int list_methods() {
+  const engine::MethodRegistry registry;
+  std::printf("%-10s %-9s %-9s %s\n", "method", "frontier", "param",
+              "description");
+  for (const std::string& name : registry.names()) {
+    const engine::RouterInfo& info = registry.info(name);
+    std::printf("%-10s %-9s %-9s %s\n", name.c_str(),
+                info.produces_frontier ? "yes"
+                : info.sweep_param.empty() ? "single"
+                                           : "sweep",
+                info.sweep_param.empty() ? "-" : info.sweep_param.c_str(),
+                info.description.c_str());
+  }
+  return 0;
+}
+
 int cmd_route(int argc, char** argv) {
+  // --list-methods anywhere on the line answers without routing.
+  for (int i = 2; i < argc; ++i)
+    if (std::strcmp(argv[i], "--list-methods") == 0) return list_methods();
   if (argc < 3) return usage();
   const std::string in = argv[2];
   std::string lut_path, csv_path, trace_path;
+  engine::RouteRequest request;
   bool stats = false;
+  bool no_cache = false;
   std::size_t lambda = 9;
   std::size_t jobs = 0;  // 0 = default (PATLABOR_JOBS env / hardware)
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lut") == 0 && i + 1 < argc) {
       lut_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
+      request.method = argv[++i];
+      try {
+        engine::parse_method(request.method);
+      } catch (const std::invalid_argument& e) {
+        throw CliError(e.what());
+      }
+    } else if (std::strcmp(argv[i], "--params") == 0 && i + 1 < argc) {
+      const std::string list = argv[++i];
+      for (const std::string& field : util::split(list, ','))
+        request.params.push_back(parse_real(field.c_str(), "sweep parameter"));
     } else if (std::strcmp(argv[i], "--lambda") == 0 && i + 1 < argc) {
       lambda = static_cast<std::size_t>(
           parse_count(argv[++i], "lambda", /*min_value=*/1));
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<std::size_t>(
           parse_count(argv[++i], "jobs", /*min_value=*/1));
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      no_cache = true;
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -175,15 +219,20 @@ int cmd_route(int argc, char** argv) {
 
   ObsSession obs_session(stats, trace_path);
   util::Timer timer;
-  std::size_t points = 0, net_count = 0;
+  std::size_t points = 0, net_count = 0, hits = 0;
+  engine::CacheStats cache_stats;
+  bool cache_on = false;
   {
     PL_SPAN("cli.route");
 
-    lut::LookupTable table;
-    const bool have_table = !lut_path.empty();
-    if (have_table) {
+    engine::EngineOptions eopt;
+    eopt.lambda = lambda;
+    if (no_cache) eopt.cache.enabled = false;
+    if (jobs != 0) par::set_jobs(jobs);
+    engine::Engine eng(eopt);
+    if (!lut_path.empty()) {
       PL_SPAN("lut.load");
-      table = lut::LookupTable::load(lut_path);
+      eng.adopt_table(lut::LookupTable::load(lut_path));
     }
 
     std::vector<geom::Net> nets;
@@ -192,10 +241,6 @@ int cmd_route(int argc, char** argv) {
       nets = io::read_nets(in);
     }
     net_count = nets.size();
-    core::BatchOptions opt;
-    opt.route.lambda = lambda;
-    if (have_table) opt.route.table = &table;
-    if (jobs != 0) par::set_jobs(jobs);
 
     std::unique_ptr<io::CsvWriter> csv;
     if (!csv_path.empty())
@@ -203,10 +248,11 @@ int cmd_route(int argc, char** argv) {
           csv_path,
           std::vector<std::string>{"net", "degree", "wirelength", "delay"});
 
-    const auto results = core::route_batch(nets, opt);
+    const auto results = eng.route_batch(nets, request);
     for (std::size_t n = 0; n < nets.size(); ++n) {
       const geom::Net& net = nets[n];
       const auto& r = results[n];
+      hits += r.cache_hit ? 1 : 0;
       std::printf("%s (degree %zu): %zu frontier points\n",
                   net.name.empty() ? "<net>" : net.name.c_str(), net.degree(),
                   r.frontier.size());
@@ -219,9 +265,18 @@ int cmd_route(int argc, char** argv) {
         ++points;
       }
     }
+    cache_stats = eng.cache_stats();
+    cache_on = eng.cache_enabled();
   }
   std::printf("routed %zu nets (%zu frontier points) in %s\n", net_count,
               points, util::format_duration(timer.seconds()).c_str());
+  if (stats && cache_on)
+    std::printf("frontier cache: %zu/%zu nets served from cache "
+                "(%llu hits, %llu misses, %llu evictions)\n",
+                hits, net_count,
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.misses),
+                static_cast<unsigned long long>(cache_stats.evictions));
   obs_session.finish();
   return 0;
 }
@@ -294,6 +349,10 @@ int main(int argc, char** argv) {
   } catch (const CliError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return usage();
+  } catch (const io::NetFileError& e) {
+    // Malformed input file: the message carries <path>:<line>.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
