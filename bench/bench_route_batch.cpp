@@ -1,11 +1,20 @@
-// Batch-routing throughput: the multi-net serving path (core::route_batch).
+// Batch-routing throughput: the multi-net serving path (engine::Engine).
 //
 // Routes one mixed-degree netlist — the shape of a global-router handoff:
 // mostly small nets, a tail of high-degree local-search nets — on a
 // 1-thread pool and on a PATLABOR_BENCH_JOBS-thread pool (default 4), and
 // checks the two frontier sets are bit-identical (the determinism contract
 // of src/patlabor/par/).
+//
+// A fourth pass re-routes with a JSONL event sink attached
+// (bench/out/route_batch.events.jsonl) to measure the emission overhead —
+// the acceptance bar is <= 3% over the silent run — and the BENCH json
+// records total normalized hypervolume alongside the walls, so the perf
+// trajectory across PRs carries a quality trajectory too (diff event files
+// across checkouts with tools/patlabor_obsdiff).
 #include "common.hpp"
+
+#include "patlabor/obs/events.hpp"
 
 int main() {
   using namespace patlabor;
@@ -26,28 +35,55 @@ int main() {
   for (std::size_t i = 0; i < large; ++i)
     nets.push_back(netgen::clustered_net(rng, 12 + (i * 4) % 13));
 
-  auto route_all = [&](std::size_t jobs) {
-    core::BatchOptions opt;
-    opt.route.table = &table;
-    opt.route.lambda = lambda;
-    opt.jobs = jobs;
+  auto route_all = [&](std::size_t jobs, obs::EventSink* events) {
+    engine::EngineOptions eopt;
+    eopt.table = &table;
+    eopt.lambda = lambda;
+    eopt.jobs = jobs;
+    eopt.cache.enabled = false;  // measure routing, not replay
+    eopt.events = events;
+    engine::Engine eng(eopt);
     util::Timer timer;
-    auto results = core::route_batch(nets, opt);
+    auto results = eng.route_batch(nets, {});
     return std::make_pair(std::move(results), timer.seconds());
   };
 
-  auto [seq, secs1] = route_all(1);
-  auto [par_r, secsN] = route_all(bench_jobs);
+  auto [seq, secs1] = route_all(1, nullptr);
+  auto [par_r, secsN] = route_all(bench_jobs, nullptr);
   // Second N-thread pass: run-to-run stability, not just 1-vs-N.
-  auto [par2, secsN2] = route_all(bench_jobs);
+  auto [par2, secsN2] = route_all(bench_jobs, nullptr);
+
+  // Events passes: same pool size, sink attached.  Best-of-two on both
+  // sides — at the default scale a single pass is tens of milliseconds, so
+  // scheduling noise would otherwise dwarf the emission cost under test.
+  const std::string events_path = bench::out_path("route_batch.events.jsonl");
+  double secs_ev = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    obs::EventSink sink(events_path);
+    obs::RunManifest manifest;
+    manifest.tool = "bench_route_batch";
+    manifest.method = "patlabor";
+    manifest.input = "netgen(seed=41)";
+    manifest.lambda = lambda;
+    manifest.jobs = bench_jobs;
+    manifest.seed = 41;
+    sink.write_manifest(manifest);
+    auto [ev_r, s] = route_all(bench_jobs, &sink);
+    secs_ev = pass == 0 ? s : std::min(secs_ev, s);
+    if (ev_r.size() != seq.size()) return 1;
+  }
+  const double silent = std::min(secsN, secsN2);
+  const double overhead_pct = secs_ev / silent * 100.0 - 100.0;
 
   bool identical = seq.size() == par_r.size() && par_r.size() == par2.size();
   std::size_t points = 0;
+  double total_hv = 0.0;
   for (std::size_t i = 0; identical && i < seq.size(); ++i) {
     identical = seq[i].frontier == par_r[i].frontier &&
                 seq[i].frontier == par2[i].frontier &&
                 seq[i].iterations == par_r[i].iterations;
     points += seq[i].frontier.size();
+    total_hv += eval::net_hypervolume(seq[i].frontier, nets[i]);
   }
 
   const double speedup = secs1 / secsN;
@@ -61,13 +97,18 @@ int main() {
                std::to_string(points), util::format_duration(secsN),
                util::fixed(static_cast<double>(nets.size()) / secsN, 2),
                util::fixed(speedup, 2)});
-  out.print("\nBatch routing throughput (core::route_batch, lambda=" +
+  out.print("\nBatch routing throughput (engine::Engine, lambda=" +
             std::to_string(lambda) + ")");
   std::printf("\nOutputs bit-identical across jobs 1/%zu/%zu(rerun): %s\n",
               bench_jobs, bench_jobs,
               identical ? "yes" : "NO — DETERMINISM VIOLATION");
+  std::printf("Total normalized hypervolume: %.6f over %zu nets\n", total_hv,
+              nets.size());
+  std::printf("Event emission: %s in %s (%+.2f%% vs silent %s)\n",
+              events_path.c_str(), util::format_duration(secs_ev).c_str(),
+              overhead_pct, util::format_duration(silent).c_str());
 
-  io::CsvWriter csv("route_batch.csv",
+  io::CsvWriter csv(bench::out_path("route_batch.csv"),
                     {"jobs", "nets", "frontier_points", "seconds",
                      "nets_per_sec"});
   csv.row({"1", std::to_string(nets.size()), std::to_string(points),
@@ -78,11 +119,15 @@ int main() {
            io::CsvWriter::num(static_cast<double>(nets.size()) / secsN)});
 
   bench::BenchJsonWriter json("route_batch");
-  json.add_run("jobs1", 1, secs1, nets.size());
+  json.add_run("jobs1", 1, secs1, nets.size(), {{"total_hv", total_hv}});
   json.add_run("jobs" + std::to_string(bench_jobs), bench_jobs, secsN,
-               nets.size(), {{"speedup", speedup}});
+               nets.size(), {{"speedup", speedup}, {"total_hv", total_hv}});
   json.add_run("jobs" + std::to_string(bench_jobs) + "_rerun", bench_jobs,
                secsN2, nets.size());
+  json.add_run("jobs" + std::to_string(bench_jobs) + "_events", bench_jobs,
+               secs_ev, nets.size(),
+               {{"events_overhead_pct", overhead_pct},
+                {"total_hv", total_hv}});
   json.write();
   bench::emit_obs_report("route_batch");
   return identical ? 0 : 1;

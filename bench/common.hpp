@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,31 @@
 namespace patlabor::bench {
 
 inline const char* kLutCachePath = "patlabor_lut_cache.bin";
+
+/// Directory for new bench artifacts (BENCH_*.json, CSVs, SVGs, phase
+/// reports): PATLABOR_BENCH_OUT if set, else bench/out/ under the CWD,
+/// created on first use.  Historical result files tracked at the repo root
+/// are left where they are; only freshly produced artifacts land here.
+inline const std::string& out_dir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("PATLABOR_BENCH_OUT");
+    std::string d = env != nullptr && *env != '\0' ? env : "bench/out";
+    std::error_code ec;
+    std::filesystem::create_directories(d, ec);
+    if (ec) {
+      std::printf("[bench] cannot create %s (%s); writing to CWD\n",
+                  d.c_str(), ec.message().c_str());
+      return std::string(".");
+    }
+    return d;
+  }();
+  return dir;
+}
+
+/// Joins a file name onto out_dir().
+inline std::string out_path(const std::string& file) {
+  return out_dir() + "/" + file;
+}
 
 /// True when the PATLABOR_OBS env var (any value but "" / "0") asks benches
 /// to record telemetry; evaluated once, enabling the obs runtime before
@@ -42,7 +68,7 @@ inline void emit_obs_report(const std::string& stem) {
   const auto events = obs::drain_trace();
   const auto phases = obs::aggregate_phases(events);
   const double wall = static_cast<double>(obs::now_us()) * 1e-6;
-  const std::string path = stem + ".phases.json";
+  const std::string path = out_path(stem + ".phases.json");
   obs::write_report_json(path, obs::StatsRegistry::instance().snapshot(),
                          phases, wall);
   std::printf("Phase breakdown: %s (%zu spans)\n", path.c_str(),
@@ -93,9 +119,9 @@ class BenchJsonWriter {
                         std::move(metrics)});
   }
 
-  /// Writes BENCH_<name>.json in the CWD; returns the path.
+  /// Writes BENCH_<name>.json under out_dir(); returns the path.
   std::string write() const {
-    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string path = out_path("BENCH_" + name_ + ".json");
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
       std::printf("[bench] cannot write %s\n", path.c_str());
@@ -231,7 +257,7 @@ inline void print_curve_report(const std::string& title,
 
   std::vector<std::string> csv_header{"w_norm"};
   for (const auto& m : methods) csv_header.push_back(m);
-  io::CsvWriter csv(stem + ".csv", csv_header);
+  io::CsvWriter csv(out_path(stem + ".csv"), csv_header);
 
   std::vector<io::LabeledCurve> plots;
   for (const auto& m : methods)
@@ -252,8 +278,9 @@ inline void print_curve_report(const std::string& title,
   for (const auto& m : methods)
     std::printf("  %s %.1fs (%zu nets)", m.c_str(), acc.runtime(m),
                 acc.net_count(m));
-  std::printf("\nCSV: %s.csv   SVG: %s.svg\n", stem.c_str(), stem.c_str());
-  io::write_file(stem + ".svg", io::curves_svg(plots));
+  std::printf("\nCSV: %s   SVG: %s\n", out_path(stem + ".csv").c_str(),
+              out_path(stem + ".svg").c_str());
+  io::write_file(out_path(stem + ".svg"), io::curves_svg(plots));
   emit_obs_report(stem);
 }
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + full ctest, then a ThreadSanitizer pass
-# over the parallel execution layer (par/) and observability (obs/) tests.
+# Repo verification: tier-1 build + full ctest, the obsdiff regression gate
+# (two-run self-compare + perturbed-seed failure path, under PATLABOR_OBS
+# ON and OFF builds), then a ThreadSanitizer pass over the parallel
+# execution layer (par/) and observability (obs/) tests.
 #
 #   scripts/verify.sh            # everything
-#   scripts/verify.sh --no-tsan  # tier-1 only
+#   scripts/verify.sh --no-tsan  # skip the TSan pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,18 +21,73 @@ cmake --build build -j
 echo "== engine cache bench: cold/warm/nocache bit-identity =="
 (cd build/bench && REPRO_SCALE="${REPRO_SCALE:-0.5}" ./bench_engine_cache)
 
+echo "== obsdiff gate: self-compare + perturbed seed (PATLABOR_OBS=ON) =="
+(
+  cd build
+  ./tools/patlabor_cli gen uniform 12 8 obsdiff_nets.nets 7 > /dev/null
+  ./tools/patlabor_cli gen uniform 12 8 obsdiff_perturbed.nets 8 > /dev/null
+  ./tools/patlabor_cli route obsdiff_nets.nets --jobs 1 \
+    --events obsdiff_a.jsonl --events-deterministic > /dev/null
+  ./tools/patlabor_cli route obsdiff_nets.nets --jobs 4 \
+    --events obsdiff_b.jsonl --events-deterministic > /dev/null
+  # Deterministic ordered flush: byte-identical files for any --jobs.
+  cmp obsdiff_a.jsonl obsdiff_b.jsonl
+  # Identical runs: zero deltas, gate passes.
+  ./tools/patlabor_obsdiff obsdiff_a.jsonl obsdiff_b.jsonl
+  # Perturbed seed: disjoint canonical hashes must trip the gate (exit 3).
+  ./tools/patlabor_cli route obsdiff_perturbed.nets \
+    --events obsdiff_c.jsonl > /dev/null
+  rc=0
+  ./tools/patlabor_obsdiff --quiet obsdiff_a.jsonl obsdiff_c.jsonl || rc=$?
+  if [[ $rc -ne 3 ]]; then
+    echo "obsdiff: expected exit 3 on a perturbed-seed run, got $rc"
+    exit 1
+  fi
+  rm -f obsdiff_nets.nets obsdiff_perturbed.nets obsdiff_{a,b,c}.jsonl
+)
+
+echo "== PATLABOR_OBS=OFF: no-op stubs, telemetry degrades gracefully =="
+cmake -B build-noobs -S . -G Ninja -DPATLABOR_OBS=OFF
+cmake --build build-noobs -j \
+  --target patlabor_cli patlabor_obsdiff test_obs test_metrics test_events \
+  test_cli_trace
+(
+  cd build-noobs
+  ./tests/test_obs
+  ./tests/test_metrics
+  ./tests/test_events
+  ./tests/test_cli_trace ./tools/patlabor_cli ./tools/patlabor_obsdiff
+  # --events still writes a manifest, but no net records: obsdiff must
+  # report the runs as incomparable (exit 3), not crash or pass.
+  ./tools/patlabor_cli gen uniform 4 6 obsdiff_nets.nets 7 > /dev/null
+  ./tools/patlabor_cli route obsdiff_nets.nets \
+    --events obsdiff_a.jsonl > /dev/null
+  ./tools/patlabor_cli route obsdiff_nets.nets \
+    --events obsdiff_b.jsonl > /dev/null
+  rc=0
+  ./tools/patlabor_obsdiff --quiet obsdiff_a.jsonl obsdiff_b.jsonl || rc=$?
+  if [[ $rc -ne 3 ]]; then
+    echo "obsdiff: expected exit 3 on manifest-only files, got $rc"
+    exit 1
+  fi
+  rm -f obsdiff_nets.nets obsdiff_{a,b}.jsonl
+)
+
 if [[ $run_tsan -eq 1 ]]; then
   echo "== TSan: par + obs + engine tests =="
   cmake -B build-tsan -S . -G Ninja -DPATLABOR_TSAN=ON
   cmake --build build-tsan -j \
-    --target test_par test_obs test_engine test_cli_trace patlabor_cli
+    --target test_par test_obs test_metrics test_events test_engine \
+    test_cli_trace patlabor_cli patlabor_obsdiff
   (
     cd build-tsan
     export TSAN_OPTIONS="halt_on_error=1"
     ./tests/test_par
     ./tests/test_obs
+    ./tests/test_metrics
+    ./tests/test_events
     ./tests/test_engine
-    ./tests/test_cli_trace ./tools/patlabor_cli
+    ./tests/test_cli_trace ./tools/patlabor_cli ./tools/patlabor_obsdiff
   )
 fi
 

@@ -61,6 +61,7 @@ void FrontierCache::insert(std::uint64_t key, CacheEntry entry) {
   if (capacity_ == 0) return;
   Shard& sh = shard_of(key);
   std::uint64_t evicted = 0;
+  std::int64_t delta = 0;
   {
     std::lock_guard<std::mutex> lock(sh.mu);
     const auto it = sh.index.find(key);
@@ -70,13 +71,19 @@ void FrontierCache::insert(std::uint64_t key, CacheEntry entry) {
     } else {
       sh.lru.emplace_front(key, std::move(entry));
       sh.index.emplace(key, sh.lru.begin());
+      ++delta;
       while (sh.lru.size() > per_shard_) {
         sh.index.erase(sh.lru.back().first);
         sh.lru.pop_back();
         ++evicted;
+        --delta;
       }
     }
   }
+  if (delta != 0)
+    PL_GAUGE_SET("engine.cache.entries",
+                 population_.fetch_add(delta, std::memory_order_relaxed) +
+                     delta);
   if (evicted > 0) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -107,6 +114,8 @@ void FrontierCache::clear() {
     sh->lru.clear();
     sh->index.clear();
   }
+  population_.store(0, std::memory_order_relaxed);
+  PL_GAUGE_SET("engine.cache.entries", 0);
 }
 
 }  // namespace patlabor::engine

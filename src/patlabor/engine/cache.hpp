@@ -15,6 +15,7 @@
 // engine only ever inserts bit-identical values for a given key.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -90,6 +91,9 @@ class FrontierCache {
   std::size_t capacity_;
   std::size_t per_shard_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Approximate live population, mirrored into the engine.cache.entries
+  /// gauge for the metrics exposition layer.
+  std::atomic<std::int64_t> population_{0};
   mutable std::mutex stats_mu_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -4,8 +4,12 @@
 #include <cstdlib>
 #include <utility>
 
+#include "patlabor/eval/metrics.hpp"
 #include "patlabor/geom/canonical.hpp"
+#include "patlabor/obs/events.hpp"
 #include "patlabor/obs/obs.hpp"
+#include "patlabor/par/ordered.hpp"
+#include "patlabor/util/timer.hpp"
 
 namespace patlabor::engine {
 
@@ -82,7 +86,14 @@ core::PatLaborOptions Engine::patlabor_options() const {
   return opt;
 }
 
-RouteResponse Engine::route_patlabor(const geom::Net& net) const {
+obs::EventSink* Engine::event_sink() const {
+  // obs::compiled_in() is constexpr: under PATLABOR_OBS=OFF this folds to
+  // nullptr and every event-filling branch below compiles away.
+  return obs::compiled_in() ? options_.events : nullptr;
+}
+
+RouteResponse Engine::route_patlabor(const geom::Net& net,
+                                     obs::NetEvent* event) const {
   // The exact-frontier regime of core::patlabor (see its implementation):
   // below this the frontier is provably exact, a pure function of the pin
   // geometry, and invariant under the canonicalization isometries.
@@ -100,6 +111,15 @@ RouteResponse Engine::route_patlabor(const geom::Net& net) const {
   } else {
     key = geom::pin_sequence_hash(net.pins);
     entry_pins = &net.pins;
+  }
+
+  if (event != nullptr) {
+    event->regime = exact ? "exact" : "local";
+    // The join key for run-to-run diffing is always the canonical-form
+    // hash, even in the local-search regime (which caches by native pin
+    // sequence): isomorphic nets must line up across runs.
+    event->chash = exact ? canon.key : geom::canonicalize(net).key;
+    event->cache_enabled = cache_enabled_;
   }
 
   if (cache_enabled_) {
@@ -137,34 +157,95 @@ RouteResponse Engine::route_patlabor(const geom::Net& net) const {
   return r;
 }
 
+RouteResponse Engine::route_impl(const geom::Net& net,
+                                 const RouteRequest& request,
+                                 obs::NetEvent* event) const {
+  PL_SPAN("engine.route");
+  util::Timer wall;
+  const double cpu0 = event != nullptr ? util::thread_cpu_seconds() : 0.0;
+  const Method method = parse_method(request.method);
+  RouteResponse r;
+  // PatLabor takes no sweep parameter; it always runs behind the cache.
+  if (method == Method::kPatLabor) {
+    r = route_patlabor(net, event);
+  } else {
+    const std::unique_ptr<Router> router =
+        registry_.make(request.method, context(), request.params);
+    std::vector<tree::RoutingTree> trees = router->route(net);
+
+    // Pareto-filter the method's output into the uniform frontier shape:
+    // one representative tree per nondominated objective, w ascending.
+    const std::vector<pareto::Objective> objs = tree::objectives(trees);
+    for (std::size_t idx : pareto::pareto_indices(objs)) {
+      r.frontier.push_back(objs[idx]);
+      r.trees.push_back(std::move(trees[idx]));
+    }
+    if (event != nullptr) {
+      event->regime = "sweep";
+      event->chash = geom::canonicalize(net).key;
+      event->cache_enabled = false;
+    }
+  }
+  PL_HIST("engine.route.frontier", r.frontier.size());
+  if (event != nullptr) {
+    event->net = net.name;
+    event->degree = net.degree();
+    event->method = request.method;
+    event->cache_hit = r.cache_hit;
+    event->frontier_size = r.frontier.size();
+    if (!r.frontier.empty()) {
+      // Frontiers are sorted w ascending / d descending.
+      event->w_min = r.frontier.front().w;
+      event->w_max = r.frontier.back().w;
+      event->d_max = r.frontier.front().d;
+      event->d_min = r.frontier.back().d;
+    }
+    event->hypervolume = eval::net_hypervolume(r.frontier, net);
+    event->iterations = r.iterations;
+    event->wall_us = static_cast<std::uint64_t>(wall.seconds() * 1e6);
+    const double cpu = util::thread_cpu_seconds() - cpu0;
+    event->cpu_us = cpu > 0.0 ? static_cast<std::uint64_t>(cpu * 1e6) : 0;
+    PL_HIST("engine.route.wall_us", event->wall_us);
+  }
+  return r;
+}
+
 RouteResponse Engine::route(const geom::Net& net,
                             const RouteRequest& request) const {
-  PL_SPAN("engine.route");
-  const Method method = parse_method(request.method);
-  // PatLabor takes no sweep parameter; it always runs behind the cache.
-  if (method == Method::kPatLabor) return route_patlabor(net);
-
-  const std::unique_ptr<Router> router =
-      registry_.make(request.method, context(), request.params);
-  std::vector<tree::RoutingTree> trees = router->route(net);
-
-  // Pareto-filter the method's output into the uniform frontier shape:
-  // one representative tree per nondominated objective, w ascending.
-  const std::vector<pareto::Objective> objs = tree::objectives(trees);
-  RouteResponse r;
-  for (std::size_t idx : pareto::pareto_indices(objs)) {
-    r.frontier.push_back(objs[idx]);
-    r.trees.push_back(std::move(trees[idx]));
-  }
+  obs::EventSink* sink = event_sink();
+  if (sink == nullptr) return route_impl(net, request, nullptr);
+  obs::NetEvent event;
+  RouteResponse r = route_impl(net, request, &event);
+  sink->emit(event);
   return r;
 }
 
 std::vector<RouteResponse> Engine::route_batch(
     std::span<const geom::Net> nets, const RouteRequest& request) const {
   PL_SPAN("engine.route_batch");
-  return par::parallel_transform(
-      nets.size(), [&](std::size_t i) { return route(nets[i], request); },
+  obs::EventSink* sink = event_sink();
+  if (sink == nullptr)
+    return par::parallel_transform(
+        nets.size(),
+        [&](std::size_t i) { return route_impl(nets[i], request, nullptr); },
+        pool());
+
+  // Per-worker events stream through an ordered flush so records land in
+  // the file in net order regardless of scheduling.
+  par::OrderedSink<obs::NetEvent> ordered(
+      [sink](obs::NetEvent&& e) { sink->emit(e); });
+  auto out = par::parallel_transform(
+      nets.size(),
+      [&](std::size_t i) {
+        obs::NetEvent event;
+        event.index = i;
+        RouteResponse r = route_impl(nets[i], request, &event);
+        ordered.put(i, std::move(event));
+        return r;
+      },
       pool());
+  sink->flush();
+  return out;
 }
 
 }  // namespace patlabor::engine

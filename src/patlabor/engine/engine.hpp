@@ -47,6 +47,11 @@
 #include "patlabor/lut/lut.hpp"
 #include "patlabor/par/pool.hpp"
 
+namespace patlabor::obs {
+class EventSink;
+struct NetEvent;
+}  // namespace patlabor::obs
+
 namespace patlabor::engine {
 
 struct EngineOptions {
@@ -66,6 +71,12 @@ struct EngineOptions {
   std::size_t jobs = 0;
   /// Frontier-cache sizing and enablement (see CacheOptions).
   CacheOptions cache;
+  /// Optional structured result telemetry (see obs/events.hpp): the engine
+  /// emits one JSONL record per routed net — regime, cache behaviour,
+  /// frontier quality, per-net timing.  Not owned; must outlive the
+  /// engine.  route_batch flushes events in net order (deterministic
+  /// layout for any jobs value); compiled out under PATLABOR_OBS=OFF.
+  obs::EventSink* events = nullptr;
 };
 
 /// One routing request.  Defaults to the full PatLabor frontier.
@@ -113,10 +124,16 @@ class Engine {
   void clear_cache() { cache_.clear(); }
 
  private:
-  RouteResponse route_patlabor(const geom::Net& net) const;
+  RouteResponse route_impl(const geom::Net& net, const RouteRequest& request,
+                           obs::NetEvent* event) const;
+  RouteResponse route_patlabor(const geom::Net& net,
+                               obs::NetEvent* event) const;
   core::PatLaborOptions patlabor_options() const;
   const lut::LookupTable* table() const;
   par::ThreadPool* pool() const;
+  /// The configured event sink, or nullptr when events are off (always
+  /// nullptr — folded away — in PATLABOR_OBS=OFF builds).
+  obs::EventSink* event_sink() const;
 
   EngineOptions options_;
   std::optional<lut::LookupTable> owned_table_;

@@ -1,8 +1,41 @@
 #include "patlabor/eval/metrics.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace patlabor::eval {
+
+pareto::Objective bbox_reference(const geom::Net& net) {
+  geom::Coord min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+  bool first = true;
+  for (const geom::Point& p : net.pins) {
+    if (first) {
+      min_x = max_x = p.x;
+      min_y = max_y = p.y;
+      first = false;
+      continue;
+    }
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const geom::Length half_perimeter =
+      static_cast<geom::Length>(max_x - min_x) +
+      static_cast<geom::Length>(max_y - min_y);
+  const auto sinks =
+      static_cast<geom::Length>(net.degree() > 0 ? net.degree() - 1 : 0);
+  return pareto::Objective{sinks * half_perimeter, 2 * half_perimeter};
+}
+
+double net_hypervolume(std::span<const pareto::Objective> frontier,
+                       const geom::Net& net) {
+  const pareto::Objective ref = bbox_reference(net);
+  const double area =
+      static_cast<double>(ref.w) * static_cast<double>(ref.d);
+  if (area <= 0.0 || frontier.empty()) return 0.0;
+  return pareto::hypervolume(frontier, ref) / area;
+}
 
 bool is_non_optimal(std::span<const pareto::Objective> true_frontier,
                     std::span<const pareto::Objective> found) {

@@ -6,9 +6,23 @@
 #include <span>
 #include <vector>
 
+#include "patlabor/geom/net.hpp"
 #include "patlabor/pareto/pareto_set.hpp"
 
 namespace patlabor::eval {
+
+/// Reference point for per-net hypervolume, a pure function of the pin
+/// geometry so it is stable across runs: the star-routing upper bounds
+/// over the net's bounding box (w_ref = (n-1)(bw+bh), d_ref = 2(bw+bh),
+/// the delay bound doubled for detouring trees).
+pareto::Objective bbox_reference(const geom::Net& net);
+
+/// Hypervolume of `frontier` against bbox_reference(net), normalized by
+/// the reference rectangle area into [0, 1] so values are comparable and
+/// summable across nets.  0 for empty frontiers or degenerate (zero-area)
+/// reference boxes.
+double net_hypervolume(std::span<const pareto::Objective> frontier,
+                       const geom::Net& net);
 
 /// Table III: a method is non-optimal on a net when it finds NO point of
 /// the true Pareto frontier.

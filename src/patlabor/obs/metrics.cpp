@@ -1,0 +1,256 @@
+#include "patlabor/obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace patlabor::obs {
+
+namespace {
+
+/// Inclusive value bounds of log2 bucket b: {0} for b == 0, else
+/// [2^(b-1), 2^b - 1].
+std::pair<double, double> bucket_bounds(int b) {
+  if (b == 0) return {0.0, 0.0};
+  const double lo = std::ldexp(1.0, b - 1);
+  const double hi = std::ldexp(1.0, b) - 1.0;
+  return {lo, hi};
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out = "patlabor_";
+  for (char c : name)
+    out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+}  // namespace
+
+Histogram::Summary merge_summaries(const Histogram::Summary& a,
+                                   const Histogram::Summary& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  Histogram::Summary m;
+  m.count = a.count + b.count;
+  m.sum = a.sum + b.sum;
+  m.min = std::min(a.min, b.min);
+  m.max = std::max(a.max, b.max);
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    m.buckets[idx] = a.buckets[idx] + b.buckets[idx];
+  }
+  return m;
+}
+
+double histogram_quantile(const Histogram::Summary& s, double q) {
+  if (s.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank, 1-based: the ceil(q * count)-th smallest value.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(s.count))));
+
+  int first = -1, last = -1;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (s.buckets[static_cast<std::size_t>(b)] == 0) continue;
+    if (first < 0) first = b;
+    last = b;
+  }
+
+  std::uint64_t before = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const std::uint64_t c = s.buckets[static_cast<std::size_t>(b)];
+    if (c == 0 || before + c < rank) {
+      before += c;
+      continue;
+    }
+    auto [lo, hi] = bucket_bounds(b);
+    // The recorded extremes tighten the outermost buckets; this is what
+    // makes single-value and single-bucket distributions exact.
+    if (b == first) lo = std::max(lo, static_cast<double>(s.min));
+    if (b == last) hi = std::min(hi, static_cast<double>(s.max));
+    if (hi <= lo) return lo;
+    // A lone sample in the outermost bucket IS the recorded extreme.
+    if (c == 1) return b == last ? hi : lo;
+    const double k = static_cast<double>(rank - before - 1);
+    return lo + (hi - lo) * (k / static_cast<double>(c - 1));
+  }
+  return static_cast<double>(s.max);  // unreachable with consistent counts
+}
+
+std::string expose_text(const Snapshot& snapshot) {
+  std::string out;
+  char buf[128];
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string p = sanitize(name);
+    out += "# TYPE " + p + " counter\n";
+    std::snprintf(buf, sizeof buf, "%s %llu\n", p.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string p = sanitize(name);
+    out += "# TYPE " + p + " gauge\n";
+    std::snprintf(buf, sizeof buf, "%s %lld\n", p.c_str(),
+                  static_cast<long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, s] : snapshot.histograms) {
+    const std::string p = sanitize(name);
+    out += "# TYPE " + p + " histogram\n";
+    int last = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+      if (s.buckets[static_cast<std::size_t>(b)] != 0) last = b;
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b <= last; ++b) {
+      cumulative += s.buckets[static_cast<std::size_t>(b)];
+      std::snprintf(buf, sizeof buf, "%s_bucket{le=\"%.0f\"} %llu\n",
+                    p.c_str(), bucket_bounds(b).second,
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, "%s_bucket{le=\"+Inf\"} %llu\n", p.c_str(),
+                  static_cast<unsigned long long>(s.count));
+    out += buf;
+    std::snprintf(buf, sizeof buf, "%s_sum %llu\n", p.c_str(),
+                  static_cast<unsigned long long>(s.sum));
+    out += buf;
+    std::snprintf(buf, sizeof buf, "%s_count %llu\n", p.c_str(),
+                  static_cast<unsigned long long>(s.count));
+    out += buf;
+  }
+  return out;
+}
+
+void write_metrics_text(const std::string& path, const Snapshot& snapshot) {
+  const std::string text = expose_text(snapshot);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    throw std::runtime_error("cannot open metrics file " + tmp);
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot write metrics file " + path);
+  }
+}
+
+namespace {
+/// SIGUSR1 sets a flag only; the exporter thread performs the write.
+volatile std::sig_atomic_t g_signal_dump_requested = 0;
+void on_dump_signal(int) { g_signal_dump_requested = 1; }
+}  // namespace
+
+struct MetricsExporter::Impl {
+  MetricsExporterOptions options;
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  Snapshot latest;
+  std::size_t dumps = 0;
+  bool dump_requested = false;
+  bool stopping = false;
+  bool stopped = false;
+  std::thread thread;
+
+  void dump_locked_snapshot() {
+    Snapshot snap = StatsRegistry::instance().snapshot();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      latest = snap;
+    }
+    if (!options.path.empty()) {
+      try {
+        write_metrics_text(options.path, snap);
+      } catch (const std::exception&) {
+        // A failed periodic write must not kill the exporter thread.
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    ++dumps;
+  }
+
+  void run() {
+    // Poll granularity: fine enough to react to dump_now()/SIGUSR1
+    // promptly even with long intervals.
+    const auto tick = std::min<std::chrono::milliseconds>(
+        options.interval, std::chrono::milliseconds(100));
+    auto next_dump = std::chrono::steady_clock::now() + options.interval;
+    for (;;) {
+      bool requested = false;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait_for(lock, tick,
+                    [&] { return stopping || dump_requested; });
+        if (stopping) return;
+        requested = std::exchange(dump_requested, false);
+      }
+      if (g_signal_dump_requested != 0) {
+        g_signal_dump_requested = 0;
+        requested = true;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (requested || now >= next_dump) {
+        dump_locked_snapshot();
+        next_dump = now + options.interval;
+      }
+    }
+  }
+};
+
+MetricsExporter::MetricsExporter(MetricsExporterOptions options)
+    : impl_(new Impl) {
+  impl_->options = std::move(options);
+  if (impl_->options.dump_on_signal) {
+#ifdef SIGUSR1
+    std::signal(SIGUSR1, on_dump_signal);
+#endif
+  }
+  impl_->thread = std::thread([this] { impl_->run(); });
+}
+
+MetricsExporter::~MetricsExporter() {
+  stop();
+  delete impl_;
+}
+
+Snapshot MetricsExporter::latest() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->latest;
+}
+
+std::size_t MetricsExporter::dumps() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dumps;
+}
+
+void MetricsExporter::dump_now() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->dump_requested = true;
+  }
+  impl_->cv.notify_all();
+}
+
+void MetricsExporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stopped) return;
+    impl_->stopped = true;
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->thread.joinable()) impl_->thread.join();
+  // Final snapshot so even sub-interval runs leave a file behind.
+  impl_->dump_locked_snapshot();
+}
+
+}  // namespace patlabor::obs

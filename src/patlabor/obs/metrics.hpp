@@ -1,0 +1,89 @@
+// Metrics snapshot/exposition layer over the StatsRegistry.
+//
+// Three pieces:
+//   * quantile estimation and shard merging for the log2-bucketed
+//     histograms (histogram_quantile / merge_summaries) — exact for the
+//     degenerate small-N shapes (empty, single value, all values in one
+//     min/max-tightened bucket), bucket-interpolated otherwise;
+//   * Prometheus-style text exposition (expose_text / write_metrics_text):
+//     counters as `counter`, gauges as `gauge`, histograms as cumulative
+//     `histogram` series with power-of-two `le` bounds — so a long-lived
+//     Engine serving route_batch traffic can be scraped;
+//   * MetricsExporter: a background thread taking periodic snapshots and
+//     rewriting an exposition file atomically (tmp + rename), with an
+//     optional SIGUSR1 dump-on-signal trigger.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+#include "patlabor/obs/stats.hpp"
+
+namespace patlabor::obs {
+
+/// Exposition type of a metric (drives the `# TYPE` comment).
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Combines two histogram summaries (e.g. per-thread shards): counts and
+/// sums add, min/max widen, buckets add element-wise.
+Histogram::Summary merge_summaries(const Histogram::Summary& a,
+                                   const Histogram::Summary& b);
+
+/// Estimated q-quantile (q in [0,1]) of a recorded value distribution.
+/// Nearest-rank over the cumulative buckets, linearly interpolated within
+/// the winning bucket, whose bounds are tightened by the recorded min/max
+/// when it is the first/last non-empty bucket.  Consequences: an empty
+/// histogram returns 0; a single recorded value is returned exactly for
+/// every q; evenly spaced values within one bucket quantile exactly.
+double histogram_quantile(const Histogram::Summary& s, double q);
+
+/// Prometheus text exposition of a snapshot.  Metric names are prefixed
+/// with "patlabor_" and dots/dashes become underscores.  Histogram bucket
+/// bounds are the log2 bucket upper limits (0, 1, 3, 7, ..., +Inf),
+/// cumulative, followed by _sum and _count.
+std::string expose_text(const Snapshot& snapshot);
+
+/// Writes expose_text(snapshot) to `path` atomically (tmp + rename);
+/// throws std::runtime_error on I/O failure.
+void write_metrics_text(const std::string& path, const Snapshot& snapshot);
+
+struct MetricsExporterOptions {
+  /// Exposition file rewritten on every snapshot.
+  std::string path;
+  /// Snapshot period.
+  std::chrono::milliseconds interval{1000};
+  /// Install a SIGUSR1 handler that requests an immediate dump (the
+  /// handler only sets a flag; the exporter thread performs the write).
+  bool dump_on_signal = false;
+};
+
+/// Periodic background snapshots of the global StatsRegistry.  Starts its
+/// thread on construction; stop() (or destruction) takes and writes one
+/// final snapshot so short-lived runs still leave a file behind.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(MetricsExporterOptions options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Most recent snapshot taken by the background thread.
+  Snapshot latest() const;
+
+  /// Number of exposition files written so far.
+  std::size_t dumps() const;
+
+  /// Requests an immediate snapshot + write from the exporter thread.
+  void dump_now();
+
+  /// Stops the thread and writes the final snapshot.  Idempotent.
+  void stop();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace patlabor::obs

@@ -60,6 +60,16 @@ constexpr bool compiled_in() { return PATLABOR_OBS_ENABLED != 0; }
     }                                                                \
   } while (0)
 
+/// Sets the named gauge to `v` (a signed level, may go down).
+#define PL_GAUGE_SET(name, v)                                     \
+  do {                                                            \
+    if (::patlabor::obs::enabled()) {                             \
+      static ::patlabor::obs::Gauge& pl_obs_g =                   \
+          ::patlabor::obs::StatsRegistry::instance().gauge(name); \
+      pl_obs_g.set(static_cast<std::int64_t>(v));                 \
+    }                                                             \
+  } while (0)
+
 #else
 
 #define PL_SPAN(name) \
@@ -70,6 +80,9 @@ constexpr bool compiled_in() { return PATLABOR_OBS_ENABLED != 0; }
   } while (0)
 #define PL_HIST(name, v) \
   do {                   \
+  } while (0)
+#define PL_GAUGE_SET(name, v) \
+  do {                        \
   } while (0)
 
 #endif  // PATLABOR_OBS_ENABLED

@@ -60,6 +60,14 @@ Counter& StatsRegistry::counter(std::string_view name) {
   return *it->second;
 }
 
+Gauge& StatsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
 Histogram& StatsRegistry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = hists_.find(name);
@@ -73,6 +81,7 @@ Snapshot StatsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
   for (const auto& [name, h] : hists_) s.histograms[name] = h->summary();
   return s;
 }
@@ -80,6 +89,7 @@ Snapshot StatsRegistry::snapshot() const {
 void StatsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : hists_) h->reset();
 }
 

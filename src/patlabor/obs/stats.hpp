@@ -34,6 +34,24 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
+/// Point-in-time level (cache population, pool size, ...): set() overwrites,
+/// add() adjusts by a signed delta.  Unlike Counter, values may go down —
+/// the metrics exposition layer types the two differently.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
 /// Log2-bucketed value histogram: bucket i counts values with bit width i
 /// (0, then [2^(i-1), 2^i)).  All updates are relaxed atomics.
 class Histogram {
@@ -68,6 +86,7 @@ class Histogram {
 /// Point-in-time copy of every registered metric, keyed by name.
 struct Snapshot {
   std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
   std::map<std::string, Histogram::Summary> histograms;
 };
 
@@ -78,6 +97,7 @@ class StatsRegistry {
   static StatsRegistry& instance();
 
   Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
   Snapshot snapshot() const;
@@ -88,6 +108,7 @@ class StatsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> hists_;
 };
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <thread>
 
+#include "patlabor/obs/obs.hpp"
 #include "patlabor/obs/trace.hpp"
 #include "patlabor/util/str.hpp"
 
@@ -83,6 +84,7 @@ struct ThreadPool::Impl {
 };
 
 ThreadPool::ThreadPool(std::size_t threads) : size_(threads == 0 ? 1 : threads) {
+  PL_GAUGE_SET("par.pool.size", size_);
   if (size_ == 1) return;  // inline fallback: no workers, no queue
   impl_ = new Impl;
   impl_->workers.reserve(size_ - 1);

@@ -1,8 +1,19 @@
 #include "patlabor/util/timer.hpp"
 
 #include <cstdio>
+#include <ctime>
 
 namespace patlabor::util {
+
+double thread_cpu_seconds() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+  return 0.0;
+}
 
 std::string format_duration(double seconds) {
   char buf[32];

@@ -31,4 +31,8 @@ class Timer {
 /// Formats a duration like the paper's Table II ("0s", "4.9s", "4.68h").
 std::string format_duration(double seconds);
 
+/// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID);
+/// 0.0 on platforms without a per-thread CPU clock.
+double thread_cpu_seconds() noexcept;
+
 }  // namespace patlabor::util

@@ -1,7 +1,10 @@
-// End-to-end check of `patlabor_cli route --stats --trace`: generates a tiny
-// net file with the CLI itself, routes it with tracing on, and validates the
-// resulting Chrome trace JSON with the in-tree parser.  Registered directly
-// in CMake (not gtest) so it can receive the CLI path as argv[1].
+// End-to-end check of the CLI observability surface: generates a tiny net
+// file with the CLI itself, routes it with tracing / events / metrics on,
+// validates the emitted JSON with the in-tree parser, and drives
+// patlabor_obsdiff through its exit-code protocol (0 identical, 1 quality
+// regression, 2 usage/IO, 3 incomparable).  Registered directly in CMake
+// (not gtest) so it can receive the tool paths as argv[1] (patlabor_cli)
+// and argv[2] (patlabor_obsdiff).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -51,10 +54,13 @@ int exit_code(int status) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: test_cli_trace <patlabor_cli path>\n");
+    std::fprintf(stderr,
+                 "usage: test_cli_trace <patlabor_cli path> "
+                 "[patlabor_obsdiff path]\n");
     return 2;
   }
   const std::string cli = argv[1];
+  const std::string obsdiff = argc >= 3 ? argv[2] : "";
   const std::string nets = "cli_trace_test.nets";
   const std::string trace = "cli_trace_test.trace.json";
   std::remove(trace.c_str());
@@ -109,6 +115,112 @@ int main(int argc, char** argv) {
   check(exit_code(run("\"" + cli + "\" route " + bad)) == 2,
         "malformed net file rejected with exit code 2");
   std::remove(bad.c_str());
+
+  // Observatory surface: --events (JSONL + manifest), deterministic files
+  // identical across --jobs, --metrics-dump exposition, obsdiff gates.
+  const std::string ev1 = "cli_trace_ev1.jsonl";
+  const std::string ev2 = "cli_trace_ev2.jsonl";
+  const std::string prom = "cli_trace_metrics.prom";
+  check(run("\"" + cli + "\" route " + nets + " --events " + ev1 +
+            " --events-deterministic --jobs 1") == 0,
+        "route --events --events-deterministic --jobs 1 succeeds");
+  check(run("\"" + cli + "\" route " + nets + " --events " + ev2 +
+            " --events-deterministic --jobs 2") == 0,
+        "route --events --events-deterministic --jobs 2 succeeds");
+  const std::string ev_text = read_file(ev1);
+  check(!ev_text.empty(), "event file written and non-empty");
+  check(ev_text == read_file(ev2),
+        "deterministic event files byte-identical across --jobs 1 vs 2");
+  {
+    // Line-by-line validity: a manifest first, then one net record per net.
+    std::istringstream lines(ev_text);
+    std::string line;
+    std::size_t count = 0, net_records = 0;
+    bool manifest_first = false, all_json = true;
+    while (std::getline(lines, line)) {
+      const auto v = patlabor::obs::json::parse(line);
+      if (!v || !v->is_object()) {
+        all_json = false;
+        continue;
+      }
+      const auto* type = v->find("type");
+      if (count == 0)
+        manifest_first = type != nullptr && type->str == "manifest";
+      if (type != nullptr && type->str == "net") ++net_records;
+      ++count;
+    }
+    check(all_json, "every event line is a JSON object");
+    check(manifest_first, "first event line is the run manifest");
+    if (patlabor::obs::compiled_in())
+      check(net_records == 3, "one net record per routed net");
+  }
+  check(exit_code(run("\"" + cli + "\" route " + nets +
+                      " --events-deterministic")) == 2,
+        "--events-deterministic without --events rejected with exit code 2");
+
+  check(run("\"" + cli + "\" route " + nets + " --metrics-dump " + prom) == 0,
+        "route --metrics-dump succeeds");
+  const std::string prom_text = read_file(prom);
+  if (patlabor::obs::compiled_in()) {
+    check(!prom_text.empty(), "metrics exposition file written");
+    check(prom_text.find("# TYPE patlabor_") != std::string::npos,
+          "metrics exposition contains typed patlabor_ series");
+  }
+
+  if (!obsdiff.empty()) {
+    check(exit_code(run("\"" + obsdiff + "\"")) == 2,
+          "obsdiff without arguments exits 2");
+    check(exit_code(run("\"" + obsdiff + "\" " + ev1 + " missing.jsonl")) ==
+              2,
+          "obsdiff with a missing file exits 2");
+    if (patlabor::obs::compiled_in()) {
+      check(exit_code(run("\"" + obsdiff + "\" " + ev1 + " " + ev2)) == 0,
+            "obsdiff self-compare of identical runs exits 0");
+
+      // Quality-regression fixture: shrink every hypervolume field.
+      const std::string reduced = "cli_trace_reduced.jsonl";
+      {
+        std::ofstream out(reduced, std::ios::binary);
+        std::istringstream lines(ev_text);
+        std::string line;
+        while (std::getline(lines, line)) {
+          const std::string key = "\"hv\":";
+          const auto pos = line.find(key);
+          if (pos != std::string::npos) {
+            auto end = line.find_first_of(",}", pos + key.size());
+            line.replace(pos + key.size(), end - pos - key.size(), "0.0");
+          }
+          out << line << "\n";
+        }
+      }
+      check(exit_code(run("\"" + obsdiff + "\" " + ev1 + " " + reduced)) == 1,
+            "obsdiff flags reduced hypervolume with exit code 1");
+      check(exit_code(run("\"" + obsdiff + "\" " + ev1 + " " + reduced +
+                          " --hv-tol 2.0")) == 0,
+            "obsdiff --hv-tol widens the quality gate");
+
+      // Incomparable fixture: no canonical hashes in common.
+      const std::string shifted = "cli_trace_shifted.jsonl";
+      {
+        std::ofstream out(shifted, std::ios::binary);
+        std::istringstream lines(ev_text);
+        std::string line;
+        while (std::getline(lines, line)) {
+          const auto pos = line.find("\"chash\":\"");
+          if (pos != std::string::npos) line.insert(pos + 9, "ff");
+          out << line << "\n";
+        }
+      }
+      check(exit_code(run("\"" + obsdiff + "\" " + ev1 + " " + shifted)) ==
+                3,
+            "obsdiff on disjoint hash sets exits 3 (incomparable)");
+      std::remove(reduced.c_str());
+      std::remove(shifted.c_str());
+    }
+  }
+  std::remove(ev1.c_str());
+  std::remove(ev2.c_str());
+  std::remove(prom.c_str());
 
   const std::string text = read_file(trace);
   check(!text.empty(), "trace file written and non-empty");

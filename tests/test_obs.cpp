@@ -287,6 +287,34 @@ TEST(ObsJson, ParsesScalarsAndStructures) {
   EXPECT_EQ(obj->find("missing"), nullptr);
 }
 
+TEST_F(ObsTest, GaugeSetAddAndSnapshot) {
+  auto& g = StatsRegistry::instance().gauge("test.gauge_basic");
+  EXPECT_EQ(g.value(), 0);
+  g.set(12);
+  g.add(-5);
+  EXPECT_EQ(g.value(), 7);
+
+  const auto snap = StatsRegistry::instance().snapshot();
+  ASSERT_TRUE(snap.gauges.count("test.gauge_basic"));
+  EXPECT_EQ(snap.gauges.at("test.gauge_basic"), 7);
+
+  StatsRegistry::instance().reset();
+  EXPECT_EQ(g.value(), 0);  // reset zeroes but keeps the registration
+}
+
+TEST_F(ObsTest, GaugeMacroRespectsRuntimeFlag) {
+  PL_REQUIRE_COMPILED_IN();
+  PL_GAUGE_SET("test.gauge_macro", 9);  // disabled: must not record
+  EXPECT_EQ(StatsRegistry::instance().snapshot().gauges.count(
+                "test.gauge_macro"),
+            0u);
+  obs::set_enabled(true);
+  PL_GAUGE_SET("test.gauge_macro", 9);
+  const auto snap = StatsRegistry::instance().snapshot();
+  ASSERT_TRUE(snap.gauges.count("test.gauge_macro"));
+  EXPECT_EQ(snap.gauges.at("test.gauge_macro"), 9);
+}
+
 TEST(ObsJson, RejectsMalformedInput) {
   using obs::json::parse;
   EXPECT_FALSE(parse("").has_value());

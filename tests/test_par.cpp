@@ -18,6 +18,7 @@
 #include "patlabor/netgen/netgen.hpp"
 #include "patlabor/obs/obs.hpp"
 #include "patlabor/obs/trace.hpp"
+#include "patlabor/par/ordered.hpp"
 #include "patlabor/par/pool.hpp"
 #include "patlabor/util/rng.hpp"
 
@@ -263,6 +264,39 @@ TEST(Determinism, DeprecatedRouteBatchShimMatchesTheEngine) {
                 direct[i].trees[t].structural_hash())
           << "net " << i << " tree " << t;
   }
+}
+
+TEST(OrderedSink, ReleasesContiguousPrefixInOrder) {
+  std::vector<int> seen;
+  par::OrderedSink<int> sink([&](int&& v) { seen.push_back(v); });
+  sink.put(2, 20);
+  sink.put(1, 10);
+  EXPECT_TRUE(seen.empty());  // index 0 still missing
+  EXPECT_EQ(sink.pending(), 2u);
+  sink.put(0, 0);
+  EXPECT_EQ(seen, (std::vector<int>{0, 10, 20}));
+  EXPECT_EQ(sink.flushed(), 3u);
+  EXPECT_EQ(sink.pending(), 0u);
+  sink.put(3, 30);  // streaming continues past the first drain
+  EXPECT_EQ(seen, (std::vector<int>{0, 10, 20, 30}));
+}
+
+TEST(OrderedSink, ConsumerSeesIndexOrderUnderConcurrentPuts) {
+  constexpr std::size_t kItems = 500;
+  std::vector<std::size_t> seen;
+  par::OrderedSink<std::size_t> sink(
+      [&](std::size_t&& v) { seen.push_back(v); });
+  par::ThreadPool pool(4);
+  // Workers complete out of order; the consumer must still observe 0..n-1.
+  par::parallel_for(
+      kItems, /*grain=*/7,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) sink.put(i, i);
+      },
+      &pool);
+  ASSERT_EQ(seen.size(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(seen[i], i);
+  EXPECT_EQ(sink.pending(), 0u);
 }
 
 TEST(Determinism, RouteBatchMatchesSequentialPatlabor) {

@@ -5,6 +5,8 @@
 //   patlabor_cli route <in.nets> [--method <name>] [--params a,b,...]
 //                      [--lut <path>] [--lambda N] [--jobs N] [--no-cache]
 //                      [--csv <out.csv>] [--stats] [--trace <out.json>]
+//                      [--events <out.jsonl>] [--events-deterministic]
+//                      [--metrics-dump <out.prom>]
 //   patlabor_cli route --list-methods
 //   patlabor_cli lutgen <max_degree> <out.bin> [--jobs N] [--stats]
 //                       [--trace <out.json>]
@@ -25,13 +27,26 @@
 // in chrome://tracing or https://ui.perfetto.dev.  Either flag enables the
 // observability runtime (see src/patlabor/obs/).
 //
+// --events writes one JSONL record per routed net (run manifest first; see
+// src/patlabor/obs/events.hpp) for run-to-run diffing with
+// patlabor_obsdiff; --events-deterministic omits timing/host fields so two
+// runs of the same input are byte-identical for any --jobs value.
+// --metrics-dump exposes the StatsRegistry in Prometheus text format,
+// rewritten periodically while the command runs (SIGUSR1 forces a dump)
+// and once more on exit.  Telemetry files are flushed even when the CLI
+// exits on an error (atexit/terminate hooks).
+//
 // Net file format: see src/patlabor/io/netfile.hpp.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
+#include "patlabor/obs/events.hpp"
+#include "patlabor/obs/metrics.hpp"
 #include "patlabor/obs/obs.hpp"
 #include "patlabor/obs/report.hpp"
 #include "patlabor/patlabor.hpp"
@@ -53,7 +68,8 @@ int usage() {
       "<out.nets> [seed] [kappa]\n"
       "  patlabor_cli route <in.nets> [--method <name>] [--params a,b,...] "
       "[--lut <path>] [--lambda N] [--jobs N] [--no-cache] [--csv <out.csv>] "
-      "[--stats] [--trace <out.json>]\n"
+      "[--stats] [--trace <out.json>] [--events <out.jsonl>] "
+      "[--events-deterministic] [--metrics-dump <out.prom>]\n"
       "  patlabor_cli route --list-methods\n"
       "  patlabor_cli lutgen <max_degree> <out.bin> [--jobs N] [--stats] "
       "[--trace <out.json>]\n"
@@ -81,27 +97,58 @@ double parse_real(const char* arg, const char* what) {
   return *v;
 }
 
-/// Shared --stats/--trace handling: enables the obs runtime up front,
-/// prints/writes the collected telemetry at scope exit.
+/// Shared --stats/--trace/--metrics-dump handling: enables the obs runtime
+/// up front, prints/writes the collected telemetry at scope exit.
+///
+/// finish() is idempotent and also runs from the destructor and from an
+/// atexit hook, so the report is still written when an exception escapes
+/// the command or something calls std::exit (the companion hook for
+/// --events lives in obs::EventSink::flush_all).
 class ObsSession {
  public:
-  ObsSession(bool stats, std::string trace_path)
-      : stats_(stats), trace_path_(std::move(trace_path)) {
+  ObsSession(bool stats, std::string trace_path, std::string metrics_path = "")
+      : stats_(stats),
+        trace_path_(std::move(trace_path)),
+        metrics_path_(std::move(metrics_path)) {
     if (!active()) return;
     if (!obs::compiled_in())
       std::fprintf(stderr,
-                   "warning: built without PATLABOR_OBS; --stats/--trace "
-                   "will report nothing\n");
+                   "warning: built without PATLABOR_OBS; --stats/--trace/"
+                   "--metrics-dump will report nothing\n");
     obs::StatsRegistry::instance().reset();
     obs::clear_trace();
     obs::set_enabled(true);
+    if (!metrics_path_.empty()) {
+      obs::MetricsExporterOptions mopt;
+      mopt.path = metrics_path_;
+      mopt.dump_on_signal = true;
+      exporter_ = std::make_unique<obs::MetricsExporter>(std::move(mopt));
+    }
+    g_active = this;
+    static const bool hook_installed = [] {
+      return std::atexit([] {
+               if (g_active != nullptr) g_active->finish();
+             }) == 0;
+    }();
+    (void)hook_installed;
   }
 
-  bool active() const { return stats_ || !trace_path_.empty(); }
+  ~ObsSession() { finish(); }
+
+  bool active() const {
+    return stats_ || !trace_path_.empty() || !metrics_path_.empty();
+  }
 
   /// Call after the root span has closed.
   void finish() {
-    if (!active()) return;
+    if (finished_ || !active()) return;
+    finished_ = true;
+    g_active = nullptr;
+    if (exporter_) {
+      exporter_->stop();  // writes the final snapshot
+      exporter_.reset();
+      std::printf("metrics written to %s\n", metrics_path_.c_str());
+    }
     obs::set_enabled(false);
     const auto events = obs::drain_trace();
     const auto phases = obs::aggregate_phases(events);
@@ -116,8 +163,13 @@ class ObsSession {
   }
 
  private:
+  static inline ObsSession* g_active = nullptr;
+
   bool stats_;
+  bool finished_ = false;
   std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::MetricsExporter> exporter_;
   util::Timer timer_;
 };
 
@@ -178,10 +230,11 @@ int cmd_route(int argc, char** argv) {
     if (std::strcmp(argv[i], "--list-methods") == 0) return list_methods();
   if (argc < 3) return usage();
   const std::string in = argv[2];
-  std::string lut_path, csv_path, trace_path;
+  std::string lut_path, csv_path, trace_path, events_path, metrics_path;
   engine::RouteRequest request;
   bool stats = false;
   bool no_cache = false;
+  bool events_deterministic = false;
   std::size_t lambda = 9;
   std::size_t jobs = 0;  // 0 = default (PATLABOR_JOBS env / hardware)
   for (int i = 3; i < argc; ++i) {
@@ -212,16 +265,25 @@ int cmd_route(int argc, char** argv) {
       stats = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--events-deterministic") == 0) {
+      events_deterministic = true;
+    } else if (std::strcmp(argv[i], "--metrics-dump") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       return usage();
     }
   }
+  if (events_deterministic && events_path.empty())
+    throw CliError("--events-deterministic requires --events <out.jsonl>");
 
-  ObsSession obs_session(stats, trace_path);
+  ObsSession obs_session(stats, trace_path, metrics_path);
   util::Timer timer;
   std::size_t points = 0, net_count = 0, hits = 0;
   engine::CacheStats cache_stats;
   bool cache_on = false;
+  std::unique_ptr<obs::EventSink> events_sink;
   {
     PL_SPAN("cli.route");
 
@@ -229,6 +291,32 @@ int cmd_route(int argc, char** argv) {
     eopt.lambda = lambda;
     if (no_cache) eopt.cache.enabled = false;
     if (jobs != 0) par::set_jobs(jobs);
+
+    if (!events_path.empty()) {
+      if (!obs::compiled_in())
+        std::fprintf(stderr,
+                     "warning: built without PATLABOR_OBS; --events will "
+                     "record a manifest but no net events\n");
+      obs::EventSink::Options sopt;
+      sopt.deterministic = events_deterministic;
+      events_sink = std::make_unique<obs::EventSink>(events_path, sopt);
+      obs::RunManifest manifest;
+      manifest.tool = "patlabor_cli route";
+      manifest.method = request.method;
+      manifest.input = in;
+      manifest.lambda = lambda;
+      manifest.jobs = jobs;
+      // Mirror the engine's tri-state: --no-cache wins, else PATLABOR_CACHE.
+      const char* cache_env = std::getenv("PATLABOR_CACHE");
+      manifest.cache_enabled =
+          !no_cache &&
+          (cache_env == nullptr || std::string_view(cache_env) != "0");
+      manifest.cache_capacity = eopt.cache.capacity;
+      manifest.cache_shards = eopt.cache.shards;
+      events_sink->write_manifest(manifest);
+      eopt.events = events_sink.get();
+    }
+
     engine::Engine eng(eopt);
     if (!lut_path.empty()) {
       PL_SPAN("lut.load");
@@ -270,6 +358,11 @@ int cmd_route(int argc, char** argv) {
   }
   std::printf("routed %zu nets (%zu frontier points) in %s\n", net_count,
               points, util::format_duration(timer.seconds()).c_str());
+  if (events_sink) {
+    events_sink->flush();
+    std::printf("events written to %s (%zu records)\n",
+                events_sink->path().c_str(), events_sink->emitted());
+  }
   if (stats && cache_on)
     std::printf("frontier cache: %zu/%zu nets served from cache "
                 "(%llu hits, %llu misses, %llu evictions)\n",

@@ -1,0 +1,300 @@
+// patlabor_obsdiff — run-to-run regression diff over event files.
+//
+//   patlabor_obsdiff <base.jsonl> <new.jsonl> [--hv-tol FRAC]
+//                    [--latency-gate FACTOR] [--quiet]
+//
+// Ingests two JSONL event files written by `patlabor_cli route --events`
+// (or any obs::EventSink producer), joins the net records by canonical
+// hash — so two runs line up even when net names or file order differ —
+// and reports per-regime deltas: matched-net counts, cache hit rate, total
+// normalized hypervolume, frontier-size distribution, and wall-time
+// p50/p95/p99 when both runs carry timing (non-deterministic mode).
+//
+// Exit codes (consumed by scripts/verify.sh and the bench suite):
+//   0  runs comparable, no regression
+//   1  quality regression (total hypervolume shrank by more than --hv-tol,
+//      default 1e-9 relative) or latency gate exceeded (p95_new >
+//      FACTOR * p95_base, only checked when --latency-gate is given)
+//   2  usage error or unreadable/malformed input
+//   3  incomparable runs: no nets joined by canonical hash
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "patlabor/obs/json.hpp"
+#include "patlabor/util/str.hpp"
+
+namespace {
+
+using patlabor::obs::json::Value;
+
+struct NetRecord {
+  std::string chash;
+  std::string regime;  // "exact" | "local" | "sweep" | ""
+  bool cache_hit = false;
+  bool has_hit_info = false;  // false in deterministic files ("on"/"off")
+  double frontier = 0.0;
+  double hv = 0.0;
+  std::optional<double> wall_us;
+};
+
+struct RunFile {
+  std::string path;
+  std::optional<Value> manifest;
+  std::vector<NetRecord> nets;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: patlabor_obsdiff <base.jsonl> <new.jsonl> "
+               "[--hv-tol FRAC] [--latency-gate FACTOR] [--quiet]\n");
+  return 2;
+}
+
+double num_or(const Value& obj, const char* key, double fallback) {
+  const Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string str_or(const Value& obj, const char* key) {
+  const Value* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->str : std::string();
+}
+
+/// Parses one event file.  Returns nullopt (with a message on stderr) when
+/// the file is unreadable or a line is not valid JSON.
+std::optional<RunFile> load_run(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  RunFile run;
+  run.path = path;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::optional<Value> v = patlabor::obs::json::parse(line);
+    if (!v || !v->is_object()) {
+      std::fprintf(stderr, "error: %s:%zu: not a JSON object\n", path.c_str(),
+                   lineno);
+      return std::nullopt;
+    }
+    const std::string type = str_or(*v, "type");
+    if (type == "manifest") {
+      run.manifest = std::move(*v);
+    } else if (type == "net") {
+      NetRecord rec;
+      rec.chash = str_or(*v, "chash");
+      rec.regime = str_or(*v, "regime");
+      const std::string cache = str_or(*v, "cache");
+      rec.cache_hit = cache == "hit";
+      rec.has_hit_info = cache == "hit" || cache == "miss";
+      rec.frontier = num_or(*v, "frontier", 0.0);
+      rec.hv = num_or(*v, "hv", 0.0);
+      if (const Value* w = v->find("wall_us"); w != nullptr && w->is_number())
+        rec.wall_us = w->number;
+      run.nets.push_back(std::move(rec));
+    }
+    // Unknown record types are skipped so the format can grow.
+  }
+  return run;
+}
+
+/// Nearest-rank quantile of an unsorted sample (sorted in place).
+double quantile(std::vector<double>& xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs.size())));
+  return xs[rank > 0 ? rank - 1 : 0];
+}
+
+/// Aggregates of one side of a matched-pair set.
+struct SideStats {
+  std::size_t nets = 0;
+  std::size_t hits = 0;
+  std::size_t hit_known = 0;
+  double hv_total = 0.0;
+  double frontier_total = 0.0;
+  double frontier_max = 0.0;
+  std::vector<double> wall;
+
+  void add(const NetRecord& r) {
+    ++nets;
+    if (r.has_hit_info) {
+      ++hit_known;
+      if (r.cache_hit) ++hits;
+    }
+    hv_total += r.hv;
+    frontier_total += r.frontier;
+    frontier_max = std::max(frontier_max, r.frontier);
+    if (r.wall_us) wall.push_back(*r.wall_us);
+  }
+
+  double hit_rate() const {
+    return hit_known > 0
+               ? static_cast<double>(hits) / static_cast<double>(hit_known)
+               : 0.0;
+  }
+  double frontier_mean() const {
+    return nets > 0 ? frontier_total / static_cast<double>(nets) : 0.0;
+  }
+};
+
+struct RegimeDiff {
+  SideStats base, next;
+};
+
+void print_side_line(const char* label, const SideStats& base,
+                     const SideStats& next) {
+  std::printf("  %-18s base %12.6f   new %12.6f   delta %+.6f\n", label,
+              base.hv_total, next.hv_total, next.hv_total - base.hv_total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path, new_path;
+  double hv_tol = 1e-9;
+  double latency_gate = 0.0;  // 0 = disabled
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hv-tol") == 0 && i + 1 < argc) {
+      const auto v = patlabor::util::parse_double(argv[++i]);
+      if (!v || *v < 0.0) return usage();
+      hv_tol = *v;
+    } else if (std::strcmp(argv[i], "--latency-gate") == 0 && i + 1 < argc) {
+      const auto v = patlabor::util::parse_double(argv[++i]);
+      if (!v || *v <= 0.0) return usage();
+      latency_gate = *v;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (base_path.empty()) {
+      base_path = argv[i];
+    } else if (new_path.empty()) {
+      new_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (base_path.empty() || new_path.empty()) return usage();
+
+  const std::optional<RunFile> base = load_run(base_path);
+  if (!base) return 2;
+  const std::optional<RunFile> next = load_run(new_path);
+  if (!next) return 2;
+
+  // Join by canonical hash.  Repeated hashes (duplicate/isomorphic nets)
+  // pair up in file order: the k-th base occurrence of a hash matches the
+  // k-th new occurrence.
+  std::map<std::string, std::vector<const NetRecord*>> by_hash;
+  for (const NetRecord& r : next->nets) by_hash[r.chash].push_back(&r);
+  std::map<std::string, std::size_t> cursor;
+
+  std::map<std::string, RegimeDiff> regimes;
+  SideStats all_base, all_new;
+  std::size_t matched = 0;
+  for (const NetRecord& b : base->nets) {
+    auto it = by_hash.find(b.chash);
+    std::size_t& k = cursor[b.chash];
+    if (it == by_hash.end() || k >= it->second.size()) continue;
+    const NetRecord& n = *it->second[k++];
+    ++matched;
+    all_base.add(b);
+    all_new.add(n);
+    RegimeDiff& rd = regimes[b.regime];
+    rd.base.add(b);
+    rd.next.add(n);
+  }
+  const std::size_t unmatched_base = base->nets.size() - matched;
+  const std::size_t unmatched_new = next->nets.size() - matched;
+
+  if (matched == 0) {
+    std::fprintf(stderr,
+                 "error: runs are incomparable — no nets joined by "
+                 "canonical hash (%zu base, %zu new)\n",
+                 base->nets.size(), next->nets.size());
+    return 3;
+  }
+
+  bool fail = false;
+  std::vector<std::string> failures;
+
+  // Quality gate: total normalized hypervolume must not shrink by more
+  // than the relative tolerance.
+  const double hv_floor = all_base.hv_total * (1.0 - hv_tol) -
+                          (all_base.hv_total == 0.0 ? hv_tol : 0.0);
+  if (all_new.hv_total < hv_floor) {
+    fail = true;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "quality regression: total hypervolume %.6f -> %.6f "
+                  "(tolerance %.3g)",
+                  all_base.hv_total, all_new.hv_total, hv_tol);
+    failures.emplace_back(buf);
+  }
+
+  // Latency gate (only meaningful when both runs carry wall_us).
+  double p95_base = 0.0, p95_new = 0.0;
+  const bool have_latency = !all_base.wall.empty() && !all_new.wall.empty();
+  if (have_latency) {
+    std::vector<double> wb = all_base.wall, wn = all_new.wall;
+    p95_base = quantile(wb, 0.95);
+    p95_new = quantile(wn, 0.95);
+    if (latency_gate > 0.0 && p95_new > latency_gate * p95_base) {
+      fail = true;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "latency regression: p95 %.0fus -> %.0fus (gate %.2fx)",
+                    p95_base, p95_new, latency_gate);
+      failures.emplace_back(buf);
+    }
+  }
+
+  if (!quiet) {
+    std::printf("obsdiff %s vs %s\n", base_path.c_str(), new_path.c_str());
+    std::printf("  matched %zu nets by canonical hash "
+                "(%zu base-only, %zu new-only)\n",
+                matched, unmatched_base, unmatched_new);
+    for (const auto& [regime, rd] : regimes) {
+      std::printf("  regime %-8s %5zu nets   hv %12.6f -> %12.6f "
+                  "(%+.6f)   frontier mean %.2f -> %.2f max %.0f -> %.0f\n",
+                  regime.empty() ? "?" : regime.c_str(), rd.base.nets,
+                  rd.base.hv_total, rd.next.hv_total,
+                  rd.next.hv_total - rd.base.hv_total, rd.base.frontier_mean(),
+                  rd.next.frontier_mean(), rd.base.frontier_max,
+                  rd.next.frontier_max);
+      if (rd.base.hit_known > 0 || rd.next.hit_known > 0)
+        std::printf("  %-15s cache hit rate %.1f%% -> %.1f%%\n", "",
+                    100.0 * rd.base.hit_rate(), 100.0 * rd.next.hit_rate());
+      if (!rd.base.wall.empty() && !rd.next.wall.empty()) {
+        std::vector<double> wb = rd.base.wall, wn = rd.next.wall;
+        std::vector<double> wb2 = wb, wn2 = wn, wb3 = wb, wn3 = wn;
+        std::printf(
+            "  %-15s wall p50 %.0fus -> %.0fus   p95 %.0fus -> %.0fus   "
+            "p99 %.0fus -> %.0fus\n",
+            "", quantile(wb, 0.50), quantile(wn, 0.50), quantile(wb2, 0.95),
+            quantile(wn2, 0.95), quantile(wb3, 0.99), quantile(wn3, 0.99));
+      }
+    }
+    print_side_line("total hv", all_base, all_new);
+    if (have_latency)
+      std::printf("  %-18s base %9.0fus   new %9.0fus\n", "p95 wall",
+                  p95_base, p95_new);
+  }
+  for (const std::string& f : failures)
+    std::fprintf(stderr, "FAIL: %s\n", f.c_str());
+  if (!quiet && !fail) std::printf("OK: no regression detected\n");
+  return fail ? 1 : 0;
+}
