@@ -1,0 +1,59 @@
+// Global allocation counter for single-TU bench programs.
+//
+// Including this header replaces the global operator new/delete with
+// counting forwarders, so a harness can report how many heap allocations a
+// phase performed (the arena-backed DW refactor is held to an allocation
+// budget; see bench_lutgen_speed).  Include from exactly ONE translation
+// unit per binary — the replaced operators are program-wide.
+//
+// peak_rss_kb() reads VmHWM from /proc/self/status (Linux); returns 0
+// where that is unavailable.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace patlabor::bench {
+
+inline std::atomic<unsigned long long> g_alloc_count{0};
+
+/// Allocations observed so far (monotone; diff around a phase to scope it).
+inline unsigned long long alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// Peak resident set size in KiB (VmHWM), or 0 when unavailable.
+inline long peak_rss_kb() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtol(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace patlabor::bench
+
+void* operator new(std::size_t n) {
+  patlabor::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

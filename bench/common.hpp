@@ -160,7 +160,7 @@ class BenchJsonWriter {
 /// The solution set of one baseline method on one net, Pareto-filtered, and
 /// the wall-clock seconds it took.
 struct MethodRun {
-  pareto::ObjVec frontier;
+  pareto::SolutionSet frontier;
   double seconds = 0.0;
 };
 
@@ -179,21 +179,21 @@ inline MethodRun run_salt(const geom::Net& net) {
   util::Timer timer;
   const auto eps = baselines::default_epsilons();
   const auto trees = baselines::salt_sweep(net, eps);
-  return {pareto::pareto_filter(tree::objectives(trees)), timer.seconds()};
+  return {pareto::SolutionSet::of(tree::objectives(trees)), timer.seconds()};
 }
 
 inline MethodRun run_ysd(const geom::Net& net) {
   util::Timer timer;
   const auto betas = baselines::default_betas();
   const auto trees = baselines::ysd_sweep(net, betas);
-  return {pareto::pareto_filter(tree::objectives(trees)), timer.seconds()};
+  return {pareto::SolutionSet::of(tree::objectives(trees)), timer.seconds()};
 }
 
 inline MethodRun run_pd(const geom::Net& net) {
   util::Timer timer;
   const auto alphas = baselines::default_alphas();
   const auto trees = baselines::pd_sweep(net, alphas, {.refine = true});
-  return {pareto::pareto_filter(tree::objectives(trees)), timer.seconds()};
+  return {pareto::SolutionSet::of(tree::objectives(trees)), timer.seconds()};
 }
 
 inline MethodRun run_pareto_ks(const geom::Net& net,

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   std::printf("net '%s' (degree %zu)\n\n", net.name.c_str(), net.degree());
   io::AsciiTable table({"Method", "|Pareto set|", "frontier pts found",
                         "non-optimal?"});
-  auto describe = [&](const char* name, const pareto::ObjVec& found) {
+  auto describe = [&](const char* name, std::span<const pareto::Objective> found) {
     table.add_row({name, std::to_string(found.size()),
                    std::to_string(eval::frontier_points_found(exact.frontier,
                                                               found)) +

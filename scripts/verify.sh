@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + full ctest, the obsdiff regression gate
 # (two-run self-compare + perturbed-seed failure path, under PATLABOR_OBS
-# ON and OFF builds), then a ThreadSanitizer pass over the parallel
-# execution layer (par/) and observability (obs/) tests.
+# ON and OFF builds), an ASan+UBSan pass over the arena-backed DW solvers
+# and the SolutionSet kernels, then a ThreadSanitizer pass over the
+# parallel execution layer (par/) and observability (obs/) tests.
 #
 #   scripts/verify.sh            # everything
 #   scripts/verify.sh --no-tsan  # skip the TSan pass
+#   scripts/verify.sh --no-asan  # skip the ASan pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+run_asan=1
+for arg in "$@"; do
+  [[ "$arg" == "--no-tsan" ]] && run_tsan=0
+  [[ "$arg" == "--no-asan" ]] && run_asan=0
+done
 
 echo "== tier-1: build + ctest (frontier cache on and off) =="
 cmake -B build -S . -G Ninja
@@ -72,6 +78,22 @@ cmake --build build-noobs -j \
   fi
   rm -f obsdiff_nets.nets obsdiff_{a,b}.jsonl
 )
+
+if [[ $run_asan -eq 1 ]]; then
+  echo "== ASan+UBSan: dw / lut / pareto (arena + SolutionSet) tests =="
+  cmake -B build-asan -S . -G Ninja -DPATLABOR_ASAN=ON
+  cmake --build build-asan -j \
+    --target test_dw test_lut test_pareto test_core
+  (
+    cd build-asan
+    export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
+    export UBSAN_OPTIONS="halt_on_error=1"
+    ./tests/test_pareto
+    ./tests/test_dw
+    ./tests/test_lut
+    ./tests/test_core
+  )
+fi
 
 if [[ $run_tsan -eq 1 ]]; then
   echo "== TSan: par + obs + engine tests =="

@@ -84,11 +84,10 @@ struct Recursor {
         combos.push_back(std::move(u));
       }
     }
-    const auto objs = tree::objectives(combos);
-    std::vector<RoutingTree> kept;
-    for (std::size_t i : pareto::pareto_indices(objs))
-      kept.push_back(std::move(combos[i]));
-    PL_COUNT("ks.combinations", combos.size());
+    auto set = pareto::SolutionSet::select(tree::objectives(combos));
+    const std::size_t total = combos.size();
+    std::vector<RoutingTree> kept = pareto::take_payload(set, std::move(combos));
+    PL_COUNT("ks.combinations", total);
     PL_COUNT("ks.combinations_kept", kept.size());
     return kept;
   }
@@ -115,11 +114,8 @@ ParetoKsResult pareto_ks(const Net& net, const ParetoKsOptions& options) {
             [](const RoutingTree& a, const RoutingTree& b) {
               return a.objective() < b.objective();
             });
-  const auto objs = tree::objectives(trees);
-  for (std::size_t i : pareto::pareto_indices(objs)) {
-    result.frontier.push_back(objs[i]);
-    result.trees.push_back(std::move(trees[i]));
-  }
+  result.frontier = pareto::SolutionSet::select(tree::objectives(trees));
+  result.trees = pareto::take_payload(result.frontier, std::move(trees));
   return result;
 }
 

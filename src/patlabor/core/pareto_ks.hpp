@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "patlabor/lut/lut.hpp"
-#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/pareto/solution_set.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
 namespace patlabor::core {
@@ -29,7 +29,7 @@ struct ParetoKsOptions {
 };
 
 struct ParetoKsResult {
-  pareto::ObjVec frontier;
+  pareto::SolutionSet frontier;
   std::vector<tree::RoutingTree> trees;
 };
 

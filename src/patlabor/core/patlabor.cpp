@@ -26,12 +26,8 @@ namespace {
 /// Pareto-filters a tree population by objective, in place.
 void filter_population(std::vector<RoutingTree>& trees) {
   const std::size_t before = trees.size();
-  const auto objs = tree::objectives(trees);
-  std::vector<RoutingTree> kept;
-  kept.reserve(trees.size());
-  for (std::size_t i : pareto::pareto_indices(objs))
-    kept.push_back(std::move(trees[i]));
-  trees = std::move(kept);
+  auto set = pareto::SolutionSet::select(tree::objectives(trees));
+  trees = pareto::take_payload(set, std::move(trees));
   PL_COUNT("search.trees_filtered", before - trees.size());
 }
 
@@ -299,13 +295,16 @@ PatLaborResult patlabor(const Net& net, const PatLaborOptions& options) {
             [](const RoutingTree& a, const RoutingTree& b) {
               return a.objective() < b.objective();
             });
-  result.frontier = tree::objectives(population);
+  // The population is nondominated and sorted by objective, so its
+  // objectives are already a staircase.
+  result.frontier =
+      pareto::SolutionSet::adopt_staircase(tree::objectives(population));
   result.trees = std::move(population);
   return result;
 }
 
-std::pair<pareto::ObjVec, std::vector<RoutingTree>> exact_small_frontier(
-    const Net& net, const lut::LookupTable* table) {
+SmallFrontier exact_small_frontier(const Net& net,
+                                   const lut::LookupTable* table) {
   if (table != nullptr && table->covers(net.degree())) {
     auto q = table->query(net);
     return {std::move(q.frontier), std::move(q.trees)};

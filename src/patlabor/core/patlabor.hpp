@@ -17,7 +17,7 @@
 #include "patlabor/core/policy.hpp"
 #include "patlabor/lut/lut.hpp"
 #include "patlabor/par/pool.hpp"
-#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/pareto/solution_set.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
 namespace patlabor::core {
@@ -44,7 +44,7 @@ struct PatLaborOptions {
 };
 
 struct PatLaborResult {
-  pareto::ObjVec frontier;               ///< sorted by wirelength
+  pareto::SolutionSet frontier;          ///< staircase invariant holds
   std::vector<tree::RoutingTree> trees;  ///< parallel to frontier
   int iterations = 0;                    ///< local-search iterations run
 };
@@ -53,11 +53,18 @@ struct PatLaborResult {
 PatLaborResult patlabor(const geom::Net& net,
                         const PatLaborOptions& options = {});
 
+/// The uniform "frontier + realizing trees" carrier of the exact helpers
+/// (one tree per staircase point, parallel to the set).
+struct SmallFrontier {
+  pareto::SolutionSet frontier;
+  std::vector<tree::RoutingTree> trees;
+};
+
 /// Exact frontier helper shared by PatLabor, Pareto-KS and the policy
 /// trainer: lookup-table query when the table covers the degree, numeric
 /// Pareto-DW otherwise.
-std::pair<pareto::ObjVec, std::vector<tree::RoutingTree>>
-exact_small_frontier(const geom::Net& net, const lut::LookupTable* table);
+SmallFrontier exact_small_frontier(const geom::Net& net,
+                                   const lut::LookupTable* table);
 
 /// Reattachment policy for fragments orphaned by the subtree surgery.
 enum class ReattachMode {

@@ -84,11 +84,8 @@ double rollout(const Net& net, const Policy& policy,
       tree::refine(cand, tree::RefineMode::kEither, 2);
       population.push_back(std::move(cand));
     }
-    const auto objs = tree::objectives(population);
-    std::vector<RoutingTree> kept;
-    for (std::size_t i : pareto::pareto_indices(objs))
-      kept.push_back(std::move(population[i]));
-    population = std::move(kept);
+    auto set = pareto::SolutionSet::select(tree::objectives(population));
+    population = pareto::take_payload(set, std::move(population));
   }
   return pareto::hypervolume(tree::objectives(population), ref);
 }

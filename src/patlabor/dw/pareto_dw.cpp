@@ -1,12 +1,14 @@
 #include "patlabor/dw/pareto_dw.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <utility>
 
 #include "patlabor/geom/box.hpp"
 #include "patlabor/geom/hanan.hpp"
 #include "patlabor/obs/obs.hpp"
+#include "patlabor/util/arena.hpp"
 
 namespace patlabor::dw {
 
@@ -23,13 +25,19 @@ namespace {
 
 // Provenance of a DP entry, for tree reconstruction.
 //
-// Each state (v, mask) keeps two arrays:
+// Each state (v, mask) keeps two Pareto sets as {offset, count} spans into
+// shared append-only arenas (see util/arena.hpp):
 //   base:  Pareto set of the merge phase (and leaf base case); entries
-//          reference `final` arrays of strictly smaller masks.
+//          reference `final` spans of strictly smaller masks.
 //   final: Pareto set of base ∪ grow candidates; grow entries reference the
-//          `base` array of their origin node at the same mask (one grow
+//          `base` span of their origin node at the same mask (one grow
 //          round reaches the closure because L1 obeys the triangle
 //          inequality), copy entries reference `base` of the same state.
+//
+// Candidate enumeration appends into reused scratch vectors; the surviving
+// subset is committed to the arena in filter order, so a state costs zero
+// heap allocations at steady state.  Both arenas live for the whole solve:
+// reconstruction traverses spans of every mask.
 struct BaseEntry {
   Objective obj;
   std::uint32_t sub = 0;   // merge: one side of the partition; 0 => leaf
@@ -44,8 +52,8 @@ struct FinalEntry {
 };
 
 struct State {
-  std::vector<BaseEntry> base;
-  std::vector<FinalEntry> final_;
+  util::ArenaSpan base;
+  util::ArenaSpan final_;
 };
 
 class Solver {
@@ -59,12 +67,15 @@ class Solver {
   State& state(NodeId v, std::uint32_t mask) {
     return states_[static_cast<std::size_t>(v) * (full_ + 1) + mask];
   }
+  const State& state(NodeId v, std::uint32_t mask) const {
+    return states_[static_cast<std::size_t>(v) * (full_ + 1) + mask];
+  }
 
   void solve_mask(std::uint32_t mask);
   void reconstruct_base(NodeId v, std::uint32_t mask, std::int32_t idx,
-                        std::vector<std::pair<Point, Point>>& edges);
+                        std::vector<std::pair<Point, Point>>& edges) const;
   void reconstruct_final(NodeId v, std::uint32_t mask, std::int32_t idx,
-                         std::vector<std::pair<Point, Point>>& edges);
+                         std::vector<std::pair<Point, Point>>& edges) const;
 
   const Net& net_;
   ParetoDwOptions options_;
@@ -73,6 +84,11 @@ class Solver {
   std::vector<NodeId> active_;     // nodes surviving corner pruning
   std::vector<NodeId> sink_node_;  // grid node of each sink
   std::vector<State> states_;
+  util::Arena<BaseEntry> base_arena_;
+  util::Arena<FinalEntry> final_arena_;
+  std::vector<BaseEntry> base_scratch_;    // merge candidates, reused
+  std::vector<FinalEntry> final_scratch_;  // grow candidates, reused
+  pareto::FilterScratch filter_scratch_;
   std::uint64_t created_ = 0;
   std::uint64_t merge_cands_ = 0;  // merge-phase candidates before filtering
   std::uint64_t grow_cands_ = 0;   // grow-phase candidates before filtering
@@ -93,23 +109,25 @@ void Solver::solve_mask(std::uint32_t mask) {
     if (options_.bbox_restriction && !bb.contains(pv)) continue;
     State& st = state(v, mask);
     if ((mask & (mask - 1)) == 0) {
-      const std::size_t i = static_cast<std::size_t>(__builtin_ctz(mask));
+      const std::size_t i = static_cast<std::size_t>(std::countr_zero(mask));
       const Length len = grid_.dist(v, sink_node_[i]);
-      st.base.push_back(BaseEntry{Objective{len, len}, 0, -1, -1});
+      const std::uint32_t m = base_arena_.mark();
+      base_arena_.push_back(BaseEntry{Objective{len, len}, 0, -1, -1});
+      st.base = base_arena_.since(m);
       ++created_;
       continue;
     }
-    std::vector<BaseEntry> cands;
+    base_scratch_.clear();
     const std::uint32_t low = mask & (~mask + 1);
     for (std::uint32_t sub = (mask - 1) & mask; sub > 0;
          sub = (sub - 1) & mask) {
       if (!(sub & low)) continue;  // canonical side contains the lowest bit
       const std::uint32_t rest = mask ^ sub;
-      const auto& fa = state(v, sub).final_;
-      const auto& fb = state(v, rest).final_;
+      const auto fa = final_arena_.view(state(v, sub).final_);
+      const auto fb = final_arena_.view(state(v, rest).final_);
       for (std::size_t a = 0; a < fa.size(); ++a) {
         for (std::size_t b = 0; b < fb.size(); ++b) {
-          cands.push_back(BaseEntry{
+          base_scratch_.push_back(BaseEntry{
               Objective{fa[a].obj.w + fb[b].obj.w,
                         std::max(fa[a].obj.d, fb[b].obj.d)},
               sub, static_cast<std::int32_t>(a),
@@ -117,51 +135,61 @@ void Solver::solve_mask(std::uint32_t mask) {
         }
       }
     }
-    std::vector<Objective> objs;
-    objs.reserve(cands.size());
-    for (const auto& c : cands) objs.push_back(c.obj);
-    for (std::size_t k : pareto::pareto_indices(objs))
-      st.base.push_back(cands[k]);
+    const auto kept = pareto::filter_indices(
+        base_scratch_.size(),
+        [&](std::uint32_t k) -> const Objective& {
+          return base_scratch_[k].obj;
+        },
+        filter_scratch_);
+    const std::uint32_t m = base_arena_.mark();
+    for (std::uint32_t k : kept) base_arena_.push_back(base_scratch_[k]);
+    st.base = base_arena_.since(m);
     created_ += st.base.size();
-    merge_cands_ += cands.size();
+    merge_cands_ += base_scratch_.size();
     kept_ += st.base.size();
   }
 
   // ---- Grow phase: one L1-closure round from every base set ----
   for (NodeId v : active_) {
     State& st = state(v, mask);
-    std::vector<FinalEntry> cands;
-    for (std::size_t i = 0; i < st.base.size(); ++i)
-      cands.push_back(FinalEntry{st.base[i].obj, -1,
-                                 static_cast<std::int32_t>(i)});
+    final_scratch_.clear();
+    const auto own = base_arena_.view(st.base);
+    for (std::size_t i = 0; i < own.size(); ++i)
+      final_scratch_.push_back(FinalEntry{own[i].obj, -1,
+                                          static_cast<std::int32_t>(i)});
     for (NodeId u : active_) {
       if (u == v) continue;
-      const State& su = state(u, mask);
-      if (su.base.empty()) continue;
+      const auto ub = base_arena_.view(state(u, mask).base);
+      if (ub.empty()) continue;
       const Length len = grid_.dist(u, v);
-      for (std::size_t i = 0; i < su.base.size(); ++i) {
-        const Objective& o = su.base[i].obj;
-        cands.push_back(FinalEntry{Objective{o.w + len, o.d + len}, u,
-                                   static_cast<std::int32_t>(i)});
+      for (std::size_t i = 0; i < ub.size(); ++i) {
+        const Objective& o = ub[i].obj;
+        final_scratch_.push_back(FinalEntry{Objective{o.w + len, o.d + len},
+                                            u, static_cast<std::int32_t>(i)});
       }
     }
-    std::vector<Objective> objs;
-    objs.reserve(cands.size());
-    for (const auto& c : cands) objs.push_back(c.obj);
-    for (std::size_t k : pareto::pareto_indices(objs))
-      st.final_.push_back(cands[k]);
+    const auto kept = pareto::filter_indices(
+        final_scratch_.size(),
+        [&](std::uint32_t k) -> const Objective& {
+          return final_scratch_[k].obj;
+        },
+        filter_scratch_);
+    const std::uint32_t m = final_arena_.mark();
+    for (std::uint32_t k : kept) final_arena_.push_back(final_scratch_[k]);
+    st.final_ = final_arena_.since(m);
     created_ += st.final_.size();
-    grow_cands_ += cands.size();
+    grow_cands_ += final_scratch_.size();
     kept_ += st.final_.size();
   }
 }
 
-void Solver::reconstruct_base(NodeId v, std::uint32_t mask, std::int32_t idx,
-                              std::vector<std::pair<Point, Point>>& edges) {
+void Solver::reconstruct_base(
+    NodeId v, std::uint32_t mask, std::int32_t idx,
+    std::vector<std::pair<Point, Point>>& edges) const {
   const BaseEntry& e =
-      state(v, mask).base[static_cast<std::size_t>(idx)];
+      base_arena_.at(state(v, mask).base, static_cast<std::uint32_t>(idx));
   if (e.sub == 0) {
-    const std::size_t i = static_cast<std::size_t>(__builtin_ctz(mask));
+    const std::size_t i = static_cast<std::size_t>(std::countr_zero(mask));
     const NodeId s = sink_node_[i];
     if (s != v) edges.emplace_back(grid_.point(v), grid_.point(s));
     return;
@@ -170,10 +198,11 @@ void Solver::reconstruct_base(NodeId v, std::uint32_t mask, std::int32_t idx,
   reconstruct_final(v, mask ^ e.sub, e.ib, edges);
 }
 
-void Solver::reconstruct_final(NodeId v, std::uint32_t mask, std::int32_t idx,
-                               std::vector<std::pair<Point, Point>>& edges) {
+void Solver::reconstruct_final(
+    NodeId v, std::uint32_t mask, std::int32_t idx,
+    std::vector<std::pair<Point, Point>>& edges) const {
   const FinalEntry& e =
-      state(v, mask).final_[static_cast<std::size_t>(idx)];
+      final_arena_.at(state(v, mask).final_, static_cast<std::uint32_t>(idx));
   if (e.from < 0) {
     reconstruct_base(v, mask, e.idx, edges);
     return;
@@ -207,16 +236,19 @@ ParetoDwResult Solver::run() {
 
   const NodeId root = grid_.node_at(net_.pins[0]);
   const State& answer = state(root, full_);
+  const auto answer_final = final_arena_.view(answer.final_);
 
   ParetoDwResult result;
   result.solutions_created = created_;
-  result.frontier.reserve(answer.final_.size());
-  for (const FinalEntry& e : answer.final_) result.frontier.push_back(e.obj);
-  // final_ sets are Pareto-filtered and pareto_indices returns objective
-  // order, so the frontier is already sorted/antichain.
+  // final_ sets are Pareto-filtered in objective order, so the collected
+  // frontier already satisfies the staircase invariant.
+  pareto::ObjVec frontier;
+  frontier.reserve(answer_final.size());
+  for (const FinalEntry& e : answer_final) frontier.push_back(e.obj);
+  result.frontier = pareto::SolutionSet::adopt_staircase(std::move(frontier));
   if (options_.want_trees) {
-    result.trees.reserve(answer.final_.size());
-    for (std::size_t i = 0; i < answer.final_.size(); ++i) {
+    result.trees.reserve(answer_final.size());
+    for (std::size_t i = 0; i < answer_final.size(); ++i) {
       std::vector<std::pair<Point, Point>> edges;
       reconstruct_final(root, full_, static_cast<std::int32_t>(i), edges);
       RoutingTree t = RoutingTree::from_edges(net_, edges);
@@ -239,7 +271,7 @@ ParetoDwResult Solver::run() {
 ParetoDwResult pareto_dw(const Net& net, const ParetoDwOptions& options) {
   if (net.degree() == 1) {
     ParetoDwResult r;
-    r.frontier.push_back(Objective{0, 0});
+    r.frontier = pareto::SolutionSet::adopt_staircase({Objective{0, 0}});
     if (options.want_trees) {
       RoutingTree t = RoutingTree::star(net);
       r.trees.push_back(std::move(t));
@@ -250,7 +282,7 @@ ParetoDwResult pareto_dw(const Net& net, const ParetoDwOptions& options) {
   return solver.run();
 }
 
-pareto::ObjVec pareto_frontier(const Net& net) {
+pareto::SolutionSet pareto_frontier(const Net& net) {
   ParetoDwOptions opts;
   opts.want_trees = false;
   return pareto_dw(net, opts).frontier;

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "patlabor/geom/net.hpp"
-#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/pareto/solution_set.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
 namespace patlabor::dw {
@@ -32,8 +32,8 @@ struct ParetoDwOptions {
 };
 
 struct ParetoDwResult {
-  /// The exact Pareto frontier, sorted by wirelength ascending.
-  pareto::ObjVec frontier;
+  /// The exact Pareto frontier (staircase invariant holds by construction).
+  pareto::SolutionSet frontier;
   /// One optimal tree per frontier point (parallel to `frontier`);
   /// empty when options.want_trees is false.
   std::vector<tree::RoutingTree> trees;
@@ -46,6 +46,6 @@ struct ParetoDwResult {
 ParetoDwResult pareto_dw(const geom::Net& net, const ParetoDwOptions& options = {});
 
 /// Convenience: frontier only, no tree reconstruction (faster).
-pareto::ObjVec pareto_frontier(const geom::Net& net);
+pareto::SolutionSet pareto_frontier(const geom::Net& net);
 
 }  // namespace patlabor::dw

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "patlabor/geom/point.hpp"
-#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/pareto/solution_set.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
 namespace patlabor::engine {
@@ -54,7 +54,7 @@ struct CacheStats {
 /// answers; `frontier`/`trees` are in that frame.
 struct CacheEntry {
   std::vector<geom::Point> pins;
-  pareto::ObjVec frontier;
+  pareto::SolutionSet frontier;
   std::vector<tree::RoutingTree> trees;
   int iterations = 0;
 };

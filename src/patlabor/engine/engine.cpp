@@ -175,11 +175,8 @@ RouteResponse Engine::route_impl(const geom::Net& net,
 
     // Pareto-filter the method's output into the uniform frontier shape:
     // one representative tree per nondominated objective, w ascending.
-    const std::vector<pareto::Objective> objs = tree::objectives(trees);
-    for (std::size_t idx : pareto::pareto_indices(objs)) {
-      r.frontier.push_back(objs[idx]);
-      r.trees.push_back(std::move(trees[idx]));
-    }
+    r.frontier = pareto::SolutionSet::select(tree::objectives(trees));
+    r.trees = pareto::take_payload(r.frontier, std::move(trees));
     if (event != nullptr) {
       event->regime = "sweep";
       event->chash = geom::canonicalize(net).key;

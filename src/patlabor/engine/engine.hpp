@@ -88,7 +88,7 @@ struct RouteRequest {
 };
 
 struct RouteResponse {
-  pareto::ObjVec frontier;               ///< Pareto curve, w ascending
+  pareto::SolutionSet frontier;          ///< Pareto curve, w ascending
   std::vector<tree::RoutingTree> trees;  ///< parallel to frontier
   int iterations = 0;                    ///< PatLabor local-search rounds
   bool cache_hit = false;                ///< answered from the cache

@@ -31,28 +31,31 @@ bool DominanceProver::row_dominated(std::span<const Count> a,
 
   // Exact LP feasibility:  λ >= 0, Σλ = 1, (D²)ᵀλ - s = a  (s >= 0).
   // Variables: λ (m) then slacks s (dim); constraints: dim + 1 rows.
+  // Built into the reused problem_/scratch_ buffers: per-call allocation
+  // count is zero once capacities have warmed up.
   ++lp_calls_;
   const int m = d2.rows;
   const int dim = d2.dim;
-  LpProblem p;
+  LpProblem& p = problem_;
   const std::size_t nvars = static_cast<std::size_t>(m + dim);
   p.c.assign(nvars, Fraction(0));
-  p.a.reserve(static_cast<std::size_t>(dim) + 1);
+  p.a.resize(static_cast<std::size_t>(dim) + 1);
+  p.b.clear();
   p.b.reserve(static_cast<std::size_t>(dim) + 1);
   for (int i = 0; i < dim; ++i) {
-    std::vector<Fraction> row(nvars, Fraction(0));
+    std::vector<Fraction>& row = p.a[static_cast<std::size_t>(i)];
+    row.assign(nvars, Fraction(0));
     for (int j = 0; j < m; ++j) row[static_cast<std::size_t>(j)] =
         Fraction(row_of(d2, j)[static_cast<std::size_t>(i)]);
     row[static_cast<std::size_t>(m + i)] = Fraction(-1);  // minus slack
-    p.a.push_back(std::move(row));
     p.b.push_back(Fraction(a[static_cast<std::size_t>(i)]));
   }
-  std::vector<Fraction> simplex_row(nvars, Fraction(0));
+  std::vector<Fraction>& simplex_row = p.a[static_cast<std::size_t>(dim)];
+  simplex_row.assign(nvars, Fraction(0));
   for (int j = 0; j < m; ++j)
     simplex_row[static_cast<std::size_t>(j)] = Fraction(1);
-  p.a.push_back(std::move(simplex_row));
   p.b.push_back(Fraction(1));
-  return feasible(p);
+  return feasible(p, scratch_);
 }
 
 bool DominanceProver::delay_envelope_le(const ParamView& d1,

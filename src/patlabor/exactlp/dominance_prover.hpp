@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <span>
 
+#include "patlabor/exactlp/simplex.hpp"
+
 namespace patlabor::exactlp {
 
 /// Usage counts are small nonnegative integers.
@@ -51,6 +53,10 @@ class DominanceProver {
   bool row_dominated(std::span<const Count> a, const ParamView& d2);
 
   std::int64_t lp_calls_ = 0;
+  /// Reused LP storage: one prover per solver/thread, so steady-state
+  /// dominance checks build their LP in warmed-up buffers (no allocations).
+  LpProblem problem_;
+  SimplexScratch scratch_;
 };
 
 }  // namespace patlabor::exactlp

@@ -8,22 +8,27 @@ namespace patlabor::exactlp {
 
 namespace {
 
-// Dense tableau: rows_ holds the m constraint rows in canonical form with
-// respect to basis_; column layout is [original vars | artificials | rhs].
+// Dense tableau in canonical form with respect to basis_; column layout is
+// [original vars | artificials | rhs].  Storage (one flat row-major vector
+// plus the basis) lives in a caller-owned SimplexScratch so repeated solves
+// reuse capacity instead of reallocating per call.
 class Tableau {
  public:
-  Tableau(const LpProblem& p)
+  Tableau(const LpProblem& p, SimplexScratch& scratch)
       : m_(p.a.size()),
         n_(p.c.size()),
         total_(n_ + m_),
-        rows_(m_, std::vector<Fraction>(total_ + 1)),
-        basis_(m_) {
+        width_(total_ + 1),
+        rows_(scratch.tableau),
+        basis_(scratch.basis) {
+    rows_.assign(m_ * width_, Fraction(0));
+    basis_.resize(m_);
     for (std::size_t i = 0; i < m_; ++i) {
       assert(p.a[i].size() == n_);
       assert(p.b[i] >= Fraction(0));
-      for (std::size_t j = 0; j < n_; ++j) rows_[i][j] = p.a[i][j];
-      rows_[i][n_ + i] = Fraction(1);
-      rows_[i][total_] = p.b[i];
+      for (std::size_t j = 0; j < n_; ++j) cell(i, j) = p.a[i][j];
+      cell(i, n_ + i) = Fraction(1);
+      cell(i, total_) = p.b[i];
       basis_[i] = n_ + i;
     }
   }
@@ -31,17 +36,18 @@ class Tableau {
   std::size_t num_rows() const { return m_; }
   std::size_t num_original() const { return n_; }
   std::size_t basis(std::size_t i) const { return basis_[i]; }
-  const Fraction& rhs(std::size_t i) const { return rows_[i][total_]; }
-  const Fraction& at(std::size_t i, std::size_t j) const { return rows_[i][j]; }
+  const Fraction& rhs(std::size_t i) const { return cell(i, total_); }
+  const Fraction& at(std::size_t i, std::size_t j) const { return cell(i, j); }
 
   void pivot(std::size_t row, std::size_t col) {
-    const Fraction inv = Fraction(1) / rows_[row][col];
-    for (auto& v : rows_[row]) v *= inv;
+    const Fraction inv = Fraction(1) / cell(row, col);
+    Fraction* prow = rows_.data() + row * width_;
+    for (std::size_t j = 0; j < width_; ++j) prow[j] *= inv;
     for (std::size_t i = 0; i < m_; ++i) {
-      if (i == row || rows_[i][col].is_zero()) continue;
-      const Fraction f = rows_[i][col];
-      for (std::size_t j = 0; j <= total_; ++j)
-        rows_[i][j] -= f * rows_[row][j];
+      if (i == row || cell(i, col).is_zero()) continue;
+      const Fraction f = cell(i, col);
+      Fraction* irow = rows_.data() + i * width_;
+      for (std::size_t j = 0; j < width_; ++j) irow[j] -= f * prow[j];
     }
     basis_[row] = col;
   }
@@ -60,7 +66,7 @@ class Tableau {
         Fraction r = cost[j];
         for (std::size_t i = 0; i < m_; ++i) {
           if (!cost[basis_[i]].is_zero())
-            r -= cost[basis_[i]] * rows_[i][j];
+            r -= cost[basis_[i]] * cell(i, j);
         }
         if (r.is_negative()) {
           enter = j;  // Bland: smallest improving index
@@ -73,8 +79,8 @@ class Tableau {
       std::size_t leave = m_;
       Fraction best_ratio;
       for (std::size_t i = 0; i < m_; ++i) {
-        if (!rows_[i][enter].is_positive()) continue;
-        const Fraction ratio = rows_[i][total_] / rows_[i][enter];
+        if (!cell(i, enter).is_positive()) continue;
+        const Fraction ratio = cell(i, total_) / cell(i, enter);
         if (leave == m_ || ratio < best_ratio ||
             (ratio == best_ratio && basis_[i] < basis_[leave])) {
           leave = i;
@@ -89,7 +95,7 @@ class Tableau {
   Fraction objective_value(const std::vector<Fraction>& cost) const {
     Fraction z(0);
     for (std::size_t i = 0; i < m_; ++i)
-      z += cost[basis_[i]] * rows_[i][total_];
+      z += cost[basis_[i]] * cell(i, total_);
     return z;
   }
 
@@ -107,7 +113,7 @@ class Tableau {
     for (std::size_t i = 0; i < m_; ++i) {
       if (basis_[i] < n_) continue;
       for (std::size_t j = 0; j < n_; ++j) {
-        if (!rows_[i][j].is_zero()) {
+        if (!cell(i, j).is_zero()) {
           pivot(i, j);
           break;
         }
@@ -116,12 +122,28 @@ class Tableau {
   }
 
  private:
+  Fraction& cell(std::size_t i, std::size_t j) {
+    return rows_[i * width_ + j];
+  }
+  const Fraction& cell(std::size_t i, std::size_t j) const {
+    return rows_[i * width_ + j];
+  }
+
   std::size_t m_;
   std::size_t n_;
   std::size_t total_;
-  std::vector<std::vector<Fraction>> rows_;
-  std::vector<std::size_t> basis_;
+  std::size_t width_;
+  std::vector<Fraction>& rows_;
+  std::vector<std::size_t>& basis_;
 };
+
+/// Phase-1 cost (sum of artificials) and the all-columns-eligible mask,
+/// built into the scratch vectors.
+void phase1_cost(std::size_t n, std::size_t total, SimplexScratch& scratch) {
+  scratch.cost.assign(total, Fraction(0));
+  for (std::size_t j = n; j < total; ++j) scratch.cost[j] = Fraction(1);
+  scratch.allow.assign(total, true);
+}
 
 }  // namespace
 
@@ -129,17 +151,16 @@ LpResult solve(const LpProblem& problem) {
   LpResult result;
   const std::size_t m = problem.a.size();
   const std::size_t n = problem.c.size();
-  Tableau tab(problem);
+  SimplexScratch scratch;
+  Tableau tab(problem, scratch);
   const std::size_t total = n + m;
 
   // Phase 1: minimize the sum of artificials.
-  std::vector<Fraction> cost1(total, Fraction(0));
-  for (std::size_t j = n; j < total; ++j) cost1[j] = Fraction(1);
-  std::vector<bool> allow_all(total, true);
-  const bool ok1 = tab.minimize(cost1, allow_all);
+  phase1_cost(n, total, scratch);
+  const bool ok1 = tab.minimize(scratch.cost, scratch.allow);
   assert(ok1 && "phase 1 is never unbounded");
   (void)ok1;
-  if (tab.objective_value(cost1).is_positive()) {
+  if (tab.objective_value(scratch.cost).is_positive()) {
     result.status = LpStatus::kInfeasible;
     return result;
   }
@@ -163,11 +184,22 @@ LpResult solve(const LpProblem& problem) {
   return result;
 }
 
+bool feasible(const LpProblem& problem, SimplexScratch& scratch) {
+  // Feasibility is decided by phase 1 alone: {Ax = b, x >= 0} is nonempty
+  // iff the artificials can be driven to zero.  (solve() with a zero
+  // objective reaches the same verdict; phase 2 is then a no-op.)
+  Tableau tab(problem, scratch);
+  const std::size_t total = problem.c.size() + problem.a.size();
+  phase1_cost(problem.c.size(), total, scratch);
+  const bool ok = tab.minimize(scratch.cost, scratch.allow);
+  assert(ok && "phase 1 is never unbounded");
+  (void)ok;
+  return !tab.objective_value(scratch.cost).is_positive();
+}
+
 bool feasible(const LpProblem& problem) {
-  LpProblem p = problem;
-  p.c.assign(problem.a.empty() ? problem.c.size() : problem.a[0].size(),
-             Fraction(0));
-  return solve(p).status == LpStatus::kOptimal;
+  SimplexScratch scratch;
+  return feasible(problem, scratch);
 }
 
 }  // namespace patlabor::exactlp

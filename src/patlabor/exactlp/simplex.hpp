@@ -32,10 +32,24 @@ struct LpProblem {
   std::vector<Fraction> c;               ///< n objective coefficients (min)
 };
 
+/// Reusable tableau storage for repeated solves (the Lemma-1 prover calls
+/// feasible() hundreds of thousands of times per pattern); contents are
+/// meaningless between calls but capacity persists, so steady-state solves
+/// perform no heap allocations.
+struct SimplexScratch {
+  std::vector<Fraction> tableau;     ///< m x (n + m + 1), row-major
+  std::vector<std::size_t> basis;    ///< m basic-variable columns
+  std::vector<Fraction> cost;        ///< phase cost vector
+  std::vector<bool> allow;           ///< columns eligible to enter
+};
+
 /// Solves the LP exactly.
 LpResult solve(const LpProblem& problem);
 
 /// Feasibility-only convenience: is {Ax = b, x >= 0} nonempty?
 bool feasible(const LpProblem& problem);
+
+/// Allocation-free variant: phase 1 only, tableau in caller-owned scratch.
+bool feasible(const LpProblem& problem, SimplexScratch& scratch);
 
 }  // namespace patlabor::exactlp

@@ -178,10 +178,8 @@ LookupTable::QueryResult LookupTable::query(const Net& net) const {
     objs.push_back(t.objective());
     trees.push_back(std::move(t));
   }
-  for (std::size_t k : pareto::pareto_indices(objs)) {
-    out.frontier.push_back(objs[k]);
-    out.trees.push_back(std::move(trees[k]));
-  }
+  out.frontier = pareto::SolutionSet::select(objs);
+  out.trees = pareto::take_payload(out.frontier, std::move(trees));
   return out;
 }
 

@@ -17,7 +17,7 @@
 
 #include "patlabor/lut/param_dw.hpp"
 #include "patlabor/par/pool.hpp"
-#include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/pareto/solution_set.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
 namespace patlabor::lut {
@@ -61,7 +61,7 @@ class LookupTable {
   }
 
   struct QueryResult {
-    pareto::ObjVec frontier;               ///< exact, sorted by w
+    pareto::SolutionSet frontier;          ///< exact (staircase invariant)
     std::vector<tree::RoutingTree> trees;  ///< parallel to frontier
   };
 

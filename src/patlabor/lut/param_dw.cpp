@@ -1,10 +1,13 @@
 #include "patlabor/lut/param_dw.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdlib>
+#include <span>
 
 #include "patlabor/exactlp/dominance_prover.hpp"
+#include "patlabor/util/arena.hpp"
 #include "patlabor/util/rng.hpp"
 
 namespace patlabor::lut {
@@ -38,38 +41,51 @@ using exactlp::ParamView;
 
 constexpr int kNumSamples = 5;
 
-// A parametric DP solution: strip-usage vector W, per-pin strip-usage
-// matrix D (row-major, n rows of dim; rows outside the mask stay zero),
-// plus precomputed objective values on the numeric screening samples.
-struct Sol {
-  std::vector<Count> w;   // dim
-  std::vector<Count> d;   // n * dim
+// A parametric DP solution is the pair (W, D) of Table I: strip-usage
+// vector W (dim entries) and per-pin strip-usage matrix D (n rows of dim;
+// rows outside the mask stay zero).  Instead of per-solution heap vectors,
+// every solution is one fixed-stride row  [ W | D ]  (stride = dim + n*dim)
+// in a contiguous Count pool; entries hold the row's slot id.  Two pools
+// exist: `scratch_pool_` holds the current state's candidates and resets
+// after each commit; `store_` holds committed survivors for the whole run
+// (reconstruction and later masks read them).  Rows are addressed by slot,
+// never by pointer, because appends relocate the pool.
+//
+// The precomputed objective values on the numeric screening samples stay
+// inline in the entries (they are read by every reduce() comparison).
+struct Samples {
   std::array<std::int64_t, kNumSamples> ws{};
   std::array<std::int64_t, kNumSamples> ds{};
 };
 
 struct BaseEntry {
-  Sol sol;
+  Samples s;
+  std::uint32_t sol = 0;  // coefficient-row slot (scratch, then store)
   std::uint32_t sub = 0;  // merge partition side; 0 => leaf
   std::int32_t ia = -1;
   std::int32_t ib = -1;
 };
 
 struct FinalEntry {
-  Sol sol;
+  Samples s;
+  std::uint32_t sol = 0;
   std::int32_t from = -1;  // grow origin node; -1 => copy from base
   std::int32_t idx = -1;
 };
 
 struct State {
-  std::vector<BaseEntry> base;
-  std::vector<FinalEntry> final_;
+  util::ArenaSpan base;
+  util::ArenaSpan final_;
 };
 
 class ParamSolver {
  public:
   ParamSolver(const PinPattern& pat, const ParamDwOptions& opt)
-      : pat_(pat), opt_(opt), n_(pat.n), dim_(2 * pat.n - 2) {}
+      : pat_(pat),
+        opt_(opt),
+        n_(pat.n),
+        dim_(2 * pat.n - 2),
+        stride_(dim_ + pat.n * dim_) {}
 
   PatternSolutions run();
 
@@ -81,14 +97,34 @@ class ParamSolver {
                      static_cast<std::uint8_t>(v % n_)};
   }
 
-  /// Strip-usage vector of a monotone path between two rank points:
-  /// x strips [min,max) at indices 0..n-2, y strips at n-1..2n-3.
-  void path_strips(RankPoint a, RankPoint b, std::vector<Count>& out) const {
-    std::fill(out.begin(), out.end(), 0);
-    for (int i = std::min(a.x, b.x); i < std::max(a.x, b.x); ++i)
-      out[static_cast<std::size_t>(i)] = 1;
+  // ---- coefficient-row pools ----
+  std::uint32_t alloc_zero(std::vector<Count>& pool) const {
+    const auto slot = static_cast<std::uint32_t>(pool.size() /
+                                                 static_cast<std::size_t>(stride_));
+    pool.resize(pool.size() + static_cast<std::size_t>(stride_), 0);
+    return slot;
+  }
+  /// `src` must not point into `pool` (appends relocate the storage).
+  std::uint32_t alloc_copy(std::vector<Count>& pool, const Count* src) const {
+    const auto slot = static_cast<std::uint32_t>(pool.size() /
+                                                 static_cast<std::size_t>(stride_));
+    pool.insert(pool.end(), src, src + stride_);
+    return slot;
+  }
+  Count* row(std::vector<Count>& pool, std::uint32_t slot) const {
+    return pool.data() + static_cast<std::size_t>(slot) * stride_;
+  }
+  const Count* row(const std::vector<Count>& pool, std::uint32_t slot) const {
+    return pool.data() + static_cast<std::size_t>(slot) * stride_;
+  }
+
+  /// Marks the strips crossed by a monotone path between two rank points:
+  /// x strips [min,max) at indices 0..n-2, y strips at n-1..2n-3.  Adds
+  /// onto `out` (callers pass zeroed storage or accumulate deltas).
+  void mark_strips(RankPoint a, RankPoint b, Count* out) const {
+    for (int i = std::min(a.x, b.x); i < std::max(a.x, b.x); ++i) out[i] = 1;
     for (int i = std::min(a.y, b.y); i < std::max(a.y, b.y); ++i)
-      out[static_cast<std::size_t>(n_ - 1 + i)] = 1;
+      out[n_ - 1 + i] = 1;
   }
 
   std::int64_t sample_dist(int k, RankPoint a, RankPoint b) const {
@@ -97,23 +133,36 @@ class ParamSolver {
     return std::abs(xp[a.x] - xp[b.x]) + std::abs(yp[a.y] - yp[b.y]);
   }
 
-  Sol leaf_sol(RankPoint v, int pin_rank) const;
-  Sol merge_sol(const Sol& a, const Sol& b) const;
-  Sol grow_sol(const Sol& src, RankPoint u, RankPoint v,
-               std::uint32_t mask) const;
+  /// Leaf base case: fresh scratch row + samples for (v -> pin).
+  std::uint32_t new_leaf(RankPoint v, int pin_rank, Samples& s);
+  /// Merge: scratch row = store row a + store row b (componentwise).
+  std::uint32_t new_merge(std::uint32_t sa, std::uint32_t sb);
+  /// Grow: scratch row = store row src + path(u, v) applied to W and the
+  /// D rows of the pins in `mask`.
+  std::uint32_t new_grow(std::uint32_t src, RankPoint u, RankPoint v,
+                         std::uint32_t mask);
 
   /// Numeric screen: necessary condition for s1 to dominate s2 for all l.
-  static bool screen(const Sol& s1, const Sol& s2) {
+  static bool screen(const Samples& s1, const Samples& s2) {
     for (int k = 0; k < kNumSamples; ++k)
       if (s1.ws[k] > s2.ws[k] || s1.ds[k] > s2.ds[k]) return false;
     return true;
   }
 
-  bool prunable(const Sol& s1, const Sol& s2, std::uint32_t mask);
+  /// Dominance test on two scratch-resident candidates.
+  bool prunable(const Samples& s1, std::uint32_t sol1, const Samples& s2,
+                std::uint32_t sol2, std::uint32_t mask);
 
   /// Antichain reduction (Lemma-1 pruning) preserving survivor order.
   template <typename T>
-  void reduce(std::vector<T>& cands, std::uint32_t mask);
+  void reduce(std::vector<T>& cands, std::vector<T>& kept,
+              std::uint32_t mask);
+
+  /// Moves the surviving candidates' rows scratch -> store (in survivor
+  /// order), renumbers their slots, commits the entries to `arena`, and
+  /// resets the scratch pool.
+  template <typename T, typename Entry>
+  util::ArenaSpan commit(std::vector<Entry>& cands, T& arena);
 
   void solve_mask(std::uint32_t mask);
   void reconstruct_base(int v, std::uint32_t mask, std::int32_t idx,
@@ -132,82 +181,81 @@ class ParamSolver {
   ParamDwOptions opt_;
   int n_;
   int dim_;
+  int stride_;
   std::uint32_t full_ = 0;
   std::vector<int> active_;
   std::array<std::array<std::int64_t, kMaxLutDegree>, kNumSamples> xpos_{};
   std::array<std::array<std::int64_t, kMaxLutDegree>, kNumSamples> ypos_{};
   std::array<int, kMaxLutDegree> boundary_label_{};  // 255 = interior
   std::vector<State> states_;
+  util::Arena<BaseEntry> base_arena_;
+  util::Arena<FinalEntry> final_arena_;
+  std::vector<Count> store_;         // committed rows, whole-run lifetime
+  std::vector<Count> scratch_pool_;  // candidate rows, reset per state
+  std::vector<BaseEntry> base_cands_;
+  std::vector<BaseEntry> base_kept_;
+  std::vector<FinalEntry> final_cands_;
+  std::vector<FinalEntry> final_kept_;
+  std::vector<Count> delta_;     // path strips of the current grow step
+  std::vector<Count> d1_, d2_;   // gathered D rows for prunable()
   DominanceProver prover_;
   std::uint64_t created_ = 0;
 };
 
-Sol ParamSolver::leaf_sol(RankPoint v, int pin_rank) const {
-  Sol s;
-  s.w.assign(static_cast<std::size_t>(dim_), 0);
-  s.d.assign(static_cast<std::size_t>(n_ * dim_), 0);
+std::uint32_t ParamSolver::new_leaf(RankPoint v, int pin_rank, Samples& s) {
+  const std::uint32_t slot = alloc_zero(scratch_pool_);
+  Count* dst = row(scratch_pool_, slot);
   const RankPoint p = pat_.pin(pin_rank);
-  path_strips(v, p, s.w);
-  std::copy(s.w.begin(), s.w.end(),
-            s.d.begin() + static_cast<std::ptrdiff_t>(pin_rank * dim_));
+  mark_strips(v, p, dst);
+  std::copy(dst, dst + dim_, dst + dim_ + pin_rank * dim_);
   for (int k = 0; k < kNumSamples; ++k) {
     s.ws[static_cast<std::size_t>(k)] = sample_dist(k, v, p);
     s.ds[static_cast<std::size_t>(k)] = s.ws[static_cast<std::size_t>(k)];
   }
-  return s;
+  return slot;
 }
 
-Sol ParamSolver::merge_sol(const Sol& a, const Sol& b) const {
-  Sol s = a;
-  for (int i = 0; i < dim_; ++i)
-    s.w[static_cast<std::size_t>(i)] += b.w[static_cast<std::size_t>(i)];
-  for (int i = 0; i < n_ * dim_; ++i)
-    s.d[static_cast<std::size_t>(i)] += b.d[static_cast<std::size_t>(i)];
-  for (int k = 0; k < kNumSamples; ++k) {
-    const auto ku = static_cast<std::size_t>(k);
-    s.ws[ku] = a.ws[ku] + b.ws[ku];
-    s.ds[ku] = std::max(a.ds[ku], b.ds[ku]);
-  }
-  return s;
+std::uint32_t ParamSolver::new_merge(std::uint32_t sa, std::uint32_t sb) {
+  const std::uint32_t slot = alloc_copy(scratch_pool_, row(store_, sa));
+  Count* dst = row(scratch_pool_, slot);
+  const Count* pb = row(store_, sb);
+  for (int i = 0; i < stride_; ++i) dst[i] += pb[i];
+  return slot;
 }
 
-Sol ParamSolver::grow_sol(const Sol& src, RankPoint u, RankPoint v,
-                          std::uint32_t mask) const {
-  Sol s = src;
-  std::vector<Count> delta(static_cast<std::size_t>(dim_));
-  path_strips(u, v, delta);
-  for (int i = 0; i < dim_; ++i)
-    s.w[static_cast<std::size_t>(i)] += delta[static_cast<std::size_t>(i)];
+std::uint32_t ParamSolver::new_grow(std::uint32_t src, RankPoint u,
+                                    RankPoint v, std::uint32_t mask) {
+  std::fill(delta_.begin(), delta_.end(), 0);
+  mark_strips(u, v, delta_.data());
+  const std::uint32_t slot = alloc_copy(scratch_pool_, row(store_, src));
+  Count* dst = row(scratch_pool_, slot);
+  for (int i = 0; i < dim_; ++i) dst[i] += delta_[static_cast<std::size_t>(i)];
   for (int p = 0; p < n_; ++p) {
     if (!(mask & (1u << p))) continue;
+    Count* drow = dst + dim_ + p * dim_;
     for (int i = 0; i < dim_; ++i)
-      s.d[static_cast<std::size_t>(p * dim_ + i)] +=
-          delta[static_cast<std::size_t>(i)];
+      drow[i] += delta_[static_cast<std::size_t>(i)];
   }
-  for (int k = 0; k < kNumSamples; ++k) {
-    const auto ku = static_cast<std::size_t>(k);
-    const std::int64_t len = sample_dist(k, u, v);
-    s.ws[ku] += len;
-    s.ds[ku] += len;
-  }
-  return s;
+  return slot;
 }
 
-bool ParamSolver::prunable(const Sol& s1, const Sol& s2, std::uint32_t mask) {
+bool ParamSolver::prunable(const Samples& s1, std::uint32_t sol1,
+                           const Samples& s2, std::uint32_t sol2,
+                           std::uint32_t mask) {
   if (!screen(s1, s2)) return false;
+  const Count* w1 = row(scratch_pool_, sol1);
+  const Count* w2 = row(scratch_pool_, sol2);
   // Exact wirelength condition of Eq. (2): W1 <= W2 componentwise.
   for (int i = 0; i < dim_; ++i)
-    if (s1.w[static_cast<std::size_t>(i)] > s2.w[static_cast<std::size_t>(i)])
-      return false;
-  // Assemble the mask rows into compact matrices.
-  std::vector<Count> d1, d2;
+    if (w1[i] > w2[i]) return false;
+  // Assemble the mask rows into compact matrices (reused gather buffers).
+  d1_.clear();
+  d2_.clear();
   int rows = 0;
   for (int p = 0; p < n_; ++p) {
     if (!(mask & (1u << p))) continue;
-    d1.insert(d1.end(), s1.d.begin() + static_cast<std::ptrdiff_t>(p * dim_),
-              s1.d.begin() + static_cast<std::ptrdiff_t>((p + 1) * dim_));
-    d2.insert(d2.end(), s2.d.begin() + static_cast<std::ptrdiff_t>(p * dim_),
-              s2.d.begin() + static_cast<std::ptrdiff_t>((p + 1) * dim_));
+    d1_.insert(d1_.end(), w1 + dim_ + p * dim_, w1 + dim_ + (p + 1) * dim_);
+    d2_.insert(d2_.end(), w2 + dim_ + p * dim_, w2 + dim_ + (p + 1) * dim_);
     ++rows;
   }
   if (!opt_.exact_pruning) {
@@ -217,8 +265,8 @@ bool ParamSolver::prunable(const Sol& s1, const Sol& s2, std::uint32_t mask) {
       for (int q = 0; q < rows && !ok; ++q) {
         ok = true;
         for (int i = 0; i < dim_; ++i)
-          if (d1[static_cast<std::size_t>(r * dim_ + i)] >
-              d2[static_cast<std::size_t>(q * dim_ + i)]) {
+          if (d1_[static_cast<std::size_t>(r * dim_ + i)] >
+              d2_[static_cast<std::size_t>(q * dim_ + i)]) {
             ok = false;
             break;
           }
@@ -227,34 +275,49 @@ bool ParamSolver::prunable(const Sol& s1, const Sol& s2, std::uint32_t mask) {
     }
     return true;
   }
-  const ParamView v1{s1.w, d1, rows, dim_};
-  const ParamView v2{s2.w, d2, rows, dim_};
+  const ParamView v1{std::span<const Count>(w1, static_cast<std::size_t>(dim_)),
+                     d1_, rows, dim_};
+  const ParamView v2{std::span<const Count>(w2, static_cast<std::size_t>(dim_)),
+                     d2_, rows, dim_};
   return prover_.delay_envelope_le(v1, v2);
 }
 
 template <typename T>
-void ParamSolver::reduce(std::vector<T>& cands, std::uint32_t mask) {
+void ParamSolver::reduce(std::vector<T>& cands, std::vector<T>& kept,
+                         std::uint32_t mask) {
   // Likely dominators first: dominated candidates then die on their first
   // screen against an early survivor, keeping the quadratic loop close to
   // linear in practice.
   std::stable_sort(cands.begin(), cands.end(), [](const T& a, const T& b) {
-    return a.sol.ws[0] + a.sol.ds[0] < b.sol.ws[0] + b.sol.ds[0];
+    return a.s.ws[0] + a.s.ds[0] < b.s.ws[0] + b.s.ds[0];
   });
-  std::vector<T> kept;
+  kept.clear();
   kept.reserve(cands.size());
   for (T& c : cands) {
     bool dominated = false;
     for (const T& k : kept) {
-      if (prunable(k.sol, c.sol, mask)) {
+      if (prunable(k.s, k.sol, c.s, c.sol, mask)) {
         dominated = true;
         break;
       }
     }
     if (dominated) continue;
-    std::erase_if(kept, [&](const T& k) { return prunable(c.sol, k.sol, mask); });
-    kept.push_back(std::move(c));
+    std::erase_if(kept,
+                  [&](const T& k) { return prunable(c.s, c.sol, k.s, k.sol, mask); });
+    kept.push_back(c);
   }
-  cands = std::move(kept);
+  cands.swap(kept);
+}
+
+template <typename T, typename Entry>
+util::ArenaSpan ParamSolver::commit(std::vector<Entry>& cands, T& arena) {
+  const std::uint32_t m = arena.mark();
+  for (Entry& e : cands) {
+    e.sol = alloc_copy(store_, row(scratch_pool_, e.sol));
+    arena.push_back(e);
+  }
+  scratch_pool_.clear();
+  return arena.since(m);
 }
 
 void ParamSolver::solve_mask(std::uint32_t mask) {
@@ -292,21 +355,35 @@ void ParamSolver::solve_mask(std::uint32_t mask) {
       continue;
     State& st = state(v, mask);
     if ((mask & (mask - 1)) == 0) {
-      const int p = __builtin_ctz(mask);
-      st.base.push_back(BaseEntry{leaf_sol(pv, p), 0, -1, -1});
+      const int p = std::countr_zero(mask);
+      BaseEntry e;
+      e.sol = new_leaf(pv, p, e.s);
+      base_cands_.clear();
+      base_cands_.push_back(e);
+      st.base = commit(base_cands_, base_arena_);
       ++created_;
       continue;
     }
-    std::vector<BaseEntry> cands;
+    base_cands_.clear();
     auto add_partition = [&](std::uint32_t sub) {
       const std::uint32_t rest = mask ^ sub;
-      const auto& fa = state(v, sub).final_;
-      const auto& fb = state(v, rest).final_;
-      for (std::size_t a = 0; a < fa.size(); ++a)
-        for (std::size_t b = 0; b < fb.size(); ++b)
-          cands.push_back(BaseEntry{merge_sol(fa[a].sol, fb[b].sol), sub,
-                                    static_cast<std::int32_t>(a),
-                                    static_cast<std::int32_t>(b)});
+      const auto fa = final_arena_.view(state(v, sub).final_);
+      const auto fb = final_arena_.view(state(v, rest).final_);
+      for (std::size_t a = 0; a < fa.size(); ++a) {
+        for (std::size_t b = 0; b < fb.size(); ++b) {
+          BaseEntry e;
+          e.sol = new_merge(fa[a].sol, fb[b].sol);
+          for (int k = 0; k < kNumSamples; ++k) {
+            const auto ku = static_cast<std::size_t>(k);
+            e.s.ws[ku] = fa[a].s.ws[ku] + fb[b].s.ws[ku];
+            e.s.ds[ku] = std::max(fa[a].s.ds[ku], fb[b].s.ds[ku]);
+          }
+          e.sub = sub;
+          e.ia = static_cast<std::int32_t>(a);
+          e.ib = static_cast<std::int32_t>(b);
+          base_cands_.push_back(e);
+        }
+      }
     };
     const std::uint32_t low = mask & (~mask + 1);
     if (all_boundary) {
@@ -326,8 +403,8 @@ void ParamSolver::solve_mask(std::uint32_t mask) {
         if (sub & low) add_partition(sub);
       }
     }
-    reduce(cands, mask);
-    st.base = std::move(cands);
+    reduce(base_cands_, base_kept_, mask);
+    st.base = commit(base_cands_, base_arena_);
     created_ += st.base.size();
   }
 
@@ -335,20 +412,36 @@ void ParamSolver::solve_mask(std::uint32_t mask) {
   for (int v : active_) {
     const RankPoint pv = point_of(v);
     State& st = state(v, mask);
-    std::vector<FinalEntry> cands;
-    for (std::size_t i = 0; i < st.base.size(); ++i)
-      cands.push_back(
-          FinalEntry{st.base[i].sol, -1, static_cast<std::int32_t>(i)});
+    final_cands_.clear();
+    const auto own = base_arena_.view(st.base);
+    for (std::size_t i = 0; i < own.size(); ++i) {
+      FinalEntry e;
+      e.s = own[i].s;
+      e.sol = alloc_copy(scratch_pool_, row(store_, own[i].sol));
+      e.from = -1;
+      e.idx = static_cast<std::int32_t>(i);
+      final_cands_.push_back(e);
+    }
     for (int u : active_) {
       if (u == v) continue;
-      const State& su = state(u, mask);
-      for (std::size_t i = 0; i < su.base.size(); ++i)
-        cands.push_back(
-            FinalEntry{grow_sol(su.base[i].sol, point_of(u), pv, mask), u,
-                       static_cast<std::int32_t>(i)});
+      const auto ub = base_arena_.view(state(u, mask).base);
+      for (std::size_t i = 0; i < ub.size(); ++i) {
+        FinalEntry e;
+        e.sol = new_grow(ub[i].sol, point_of(u), pv, mask);
+        e.s = ub[i].s;
+        for (int k = 0; k < kNumSamples; ++k) {
+          const auto ku = static_cast<std::size_t>(k);
+          const std::int64_t len = sample_dist(k, point_of(u), pv);
+          e.s.ws[ku] += len;
+          e.s.ds[ku] += len;
+        }
+        e.from = u;
+        e.idx = static_cast<std::int32_t>(i);
+        final_cands_.push_back(e);
+      }
     }
-    reduce(cands, mask);
-    st.final_ = std::move(cands);
+    reduce(final_cands_, final_kept_, mask);
+    st.final_ = commit(final_cands_, final_arena_);
     created_ += st.final_.size();
   }
 }
@@ -356,9 +449,10 @@ void ParamSolver::solve_mask(std::uint32_t mask) {
 void ParamSolver::reconstruct_base(int v, std::uint32_t mask,
                                    std::int32_t idx,
                                    RankTopology& topo) const {
-  const BaseEntry& e = state(v, mask).base[static_cast<std::size_t>(idx)];
+  const BaseEntry& e =
+      base_arena_.at(state(v, mask).base, static_cast<std::uint32_t>(idx));
   if (e.sub == 0) {
-    const int p = __builtin_ctz(mask);
+    const int p = std::countr_zero(mask);
     const RankPoint pin = pat_.pin(p);
     if (!(pin == point_of(v))) topo.edges.emplace_back(point_of(v), pin);
     return;
@@ -370,7 +464,8 @@ void ParamSolver::reconstruct_base(int v, std::uint32_t mask,
 void ParamSolver::reconstruct_final(int v, std::uint32_t mask,
                                     std::int32_t idx,
                                     RankTopology& topo) const {
-  const FinalEntry& e = state(v, mask).final_[static_cast<std::size_t>(idx)];
+  const FinalEntry& e =
+      final_arena_.at(state(v, mask).final_, static_cast<std::uint32_t>(idx));
   if (e.from < 0) {
     reconstruct_base(v, mask, e.idx, topo);
     return;
@@ -381,6 +476,7 @@ void ParamSolver::reconstruct_final(int v, std::uint32_t mask,
 
 PatternSolutions ParamSolver::run() {
   full_ = (1u << n_) - 1;
+  delta_.assign(static_cast<std::size_t>(dim_), 0);
 
   // Deterministic sample strip lengths; sample 0 is the all-ones grid.
   util::Rng rng(0xC0FFEE);
@@ -446,12 +542,12 @@ PatternSolutions ParamSolver::run() {
   for (int s = 0; s < n_; ++s) {
     const std::uint32_t sinks = full_ ^ (1u << s);
     const int v = node_of(pat_.pin(s));
-    const State& st = state(v, sinks);
+    const auto answer = final_arena_.view(state(v, sinks).final_);
     // Sorted-vector dedup (one sort + unique) instead of a node-based
     // std::set: same sorted output, no per-insert allocations.
     std::vector<RankTopology> dedup;
-    dedup.reserve(st.final_.size());
-    for (std::size_t i = 0; i < st.final_.size(); ++i) {
+    dedup.reserve(answer.size());
+    for (std::size_t i = 0; i < answer.size(); ++i) {
       RankTopology topo;
       reconstruct_final(v, sinks, static_cast<std::int32_t>(i), topo);
       topo.canonicalize();

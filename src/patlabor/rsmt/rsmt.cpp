@@ -1,5 +1,6 @@
 #include "patlabor/rsmt/rsmt.hpp"
 
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <utility>
@@ -55,7 +56,7 @@ RoutingTree exact_rsmt(const Net& net) {
     for (int v = 0; v < nv; ++v) {
       const auto uv = static_cast<std::size_t>(v);
       if ((mask & (mask - 1)) == 0) {
-        const std::size_t i = static_cast<std::size_t>(__builtin_ctz(mask));
+        const std::size_t i = static_cast<std::size_t>(std::countr_zero(mask));
         dp[uv][mask] = grid.dist(static_cast<NodeId>(v), sink_node[i]);
         how[uv][mask] = Choice{Choice::Kind::kLeaf, 0, sink_node[i]};
         continue;

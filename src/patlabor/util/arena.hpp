@@ -1,0 +1,69 @@
+// Span-indexed append-only arenas for DP state storage.
+//
+// The Pareto-DW solvers index |V| × 2^(n-1) states, each holding two small
+// Pareto sets.  Storing those as per-state std::vectors costs two heap
+// allocations per state plus pointer-chasing on every read — the dominant
+// cost of lookup-table generation.  An Arena<T> instead keeps ONE growing
+// pool per record type; a state stores a 8-byte ArenaSpan {offset, count}
+// into it.
+//
+// Lifetime rules (see DESIGN.md "SolutionSet & arena storage"):
+//   * committed pools are append-only and live for the whole solve —
+//     reconstruction walks spans of every mask, so nothing is freed per
+//     mask wave; only scratch (candidate) buffers reset per state;
+//   * spans store OFFSETS, never pointers: pool growth relocates the
+//     backing storage, so raw pointers/references into a pool must not be
+//     held across an append to the same pool.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace patlabor::util {
+
+/// A {offset, count} window into an Arena pool.  Value-semantic and stable
+/// across pool growth (unlike iterators/pointers).
+struct ArenaSpan {
+  std::uint32_t offset = 0;
+  std::uint32_t count = 0;
+
+  bool empty() const { return count == 0; }
+  std::uint32_t size() const { return count; }
+};
+
+template <typename T>
+class Arena {
+ public:
+  std::uint32_t size() const { return static_cast<std::uint32_t>(pool_.size()); }
+
+  /// Start of a commit window: push_back entries, then since(mark).
+  std::uint32_t mark() const { return size(); }
+
+  void push_back(const T& v) { pool_.push_back(v); }
+  void push_back(T&& v) { pool_.push_back(std::move(v)); }
+
+  ArenaSpan since(std::uint32_t m) const {
+    assert(m <= size());
+    return ArenaSpan{m, size() - m};
+  }
+
+  std::span<const T> view(ArenaSpan s) const {
+    assert(s.offset + s.count <= size());
+    return {pool_.data() + s.offset, s.count};
+  }
+
+  const T& at(ArenaSpan s, std::uint32_t i) const {
+    assert(i < s.count);
+    return pool_[s.offset + i];
+  }
+
+  void reserve(std::size_t n) { pool_.reserve(n); }
+  void clear() { pool_.clear(); }
+
+ private:
+  std::vector<T> pool_;
+};
+
+}  // namespace patlabor::util

@@ -96,6 +96,67 @@ TEST(RegenerateSubtopology, PreservesAllPins) {
   }
 }
 
+TEST(RegenerateSubtopology, DelayAwareValidatesAndPreservesPins) {
+  util::Rng rng(113);
+  for (int it = 0; it < 20; ++it) {
+    const Net net = testing::random_net(rng, 14);
+    const auto t = rsmt::rsmt_heuristic(net);
+    core::Policy policy;
+    const auto pins = policy.select_pins(t, 5);
+    Net subnet;
+    subnet.pins.push_back(net.source());
+    for (std::size_t p : pins) subnet.pins.push_back(t.node(p));
+    const auto sub = dw::pareto_dw(subnet);
+    ASSERT_FALSE(sub.trees.empty());
+    for (const auto& s : sub.trees) {
+      const auto rebuilt = core::regenerate_subtopology(
+          t, pins, s, core::ReattachMode::kDelayAware);
+      EXPECT_TRUE(rebuilt.validate().empty()) << rebuilt.validate();
+      EXPECT_EQ(rebuilt.num_pins(), net.degree());
+      for (std::size_t v = 0; v < net.degree(); ++v)
+        EXPECT_EQ(rebuilt.node(v), net.pins[v]);
+    }
+  }
+}
+
+TEST(RegenerateSubtopology, DelayAwareAnchorsOrphanNearTheSource) {
+  // Source s, far pin a, and pin b hanging off a mid-path Steiner node u.
+  // Regenerating {a}'s sub-topology deletes s->u->a, orphaning {u, b}.
+  // The nearest core point to the orphan is a (L1 45 via u), but a sits at
+  // the end of a 100-long source path; the delay-aware mode pays 65 to
+  // anchor at the source instead and wins on delay.
+  Net net;
+  net.pins = {{0, 0}, {100, 0}, {60, 10}};  // s, a, b
+  const geom::Point u{60, 5};
+  const std::vector<std::pair<geom::Point, geom::Point>> tree_edges{
+      {net.pins[0], u}, {u, net.pins[1]}, {u, net.pins[2]}};
+  const auto t = tree::RoutingTree::from_edges(net, tree_edges);
+  ASSERT_TRUE(t.validate().empty()) << t.validate();
+
+  Net subnet;
+  subnet.pins = {net.pins[0], net.pins[1]};
+  const std::vector<std::pair<geom::Point, geom::Point>> sub_edges{
+      {subnet.pins[0], subnet.pins[1]}};
+  const auto sub = tree::RoutingTree::from_edges(subnet, sub_edges);
+  const std::vector<std::size_t> pins{1};  // regenerate around pin a
+
+  const auto near = core::regenerate_subtopology(t, pins, sub,
+                                                 core::ReattachMode::kNearest);
+  const auto aware = core::regenerate_subtopology(
+      t, pins, sub, core::ReattachMode::kDelayAware);
+  ASSERT_TRUE(near.validate().empty()) << near.validate();
+  ASSERT_TRUE(aware.validate().empty()) << aware.validate();
+
+  // kNearest attaches the orphan at a: delay to b = 100 + 45 + 5 = 150.
+  // kDelayAware attaches it at s: delay to b = 65 + 5 = 70; max delay is
+  // then pin a's 100.
+  EXPECT_EQ(near.delay(), 150);
+  EXPECT_EQ(aware.delay(), 100);
+  EXPECT_LT(aware.delay(), near.delay());
+  // The anchor trade-off buys delay with wirelength.
+  EXPECT_GT(aware.wirelength(), near.wirelength());
+}
+
 // ---- PatLabor ----
 
 TEST(PatLabor, SmallNetsAreExact) {

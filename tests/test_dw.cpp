@@ -145,7 +145,7 @@ TEST_P(DwPruningEquivalence, AllOptionCombinationsAgree) {
   const Net net = testing::random_net(rng, degree);
   dw::ParetoDwOptions base;
   base.want_trees = false;
-  ObjVec reference;
+  pareto::SolutionSet reference;
   for (const bool corner : {false, true}) {
     for (const bool bbox : {false, true}) {
       dw::ParetoDwOptions o = base;

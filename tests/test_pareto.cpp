@@ -5,6 +5,7 @@
 
 #include "patlabor/pareto/curve.hpp"
 #include "patlabor/pareto/pareto_set.hpp"
+#include "patlabor/pareto/solution_set.hpp"
 #include "patlabor/util/rng.hpp"
 
 namespace patlabor {
@@ -156,6 +157,140 @@ TEST(Curve, Linspace) {
   EXPECT_DOUBLE_EQ(g[0], 0.0);
   EXPECT_DOUBLE_EQ(g[2], 0.5);
   EXPECT_DOUBLE_EQ(g[4], 1.0);
+}
+
+// ---- SolutionSet: the in-place kernels vs the pure reference functions ----
+
+/// O(S^2) reference filter, straight from the definition: keep a point iff
+/// nothing dominates it and it is the first occurrence of its value; then
+/// sort by objective.
+ObjVec brute_force_filter(const ObjVec& pts) {
+  ObjVec kept;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    bool drop = false;
+    for (std::size_t j = 0; j < pts.size() && !drop; ++j) {
+      if (pareto::dominates(pts[j], pts[i])) drop = true;
+      if (j < i && pts[j] == pts[i]) drop = true;  // duplicate: keep first
+    }
+    if (!drop) kept.push_back(pts[i]);
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+ObjVec random_points(util::Rng& rng, int max_n, pareto::Length hi) {
+  ObjVec pts;
+  const int n = static_cast<int>(rng.index(static_cast<std::size_t>(max_n)));
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform_int(0, hi), rng.uniform_int(0, hi)});
+  return pts;
+}
+
+class SolutionSetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolutionSetProperty, FilterIndicesMatchesParetoIndices) {
+  util::Rng rng(static_cast<std::uint64_t>(900 + GetParam()));
+  const ObjVec pts = random_points(rng, 80, 25);  // small range: duplicates
+  const auto ref = pareto::pareto_indices(pts);
+  pareto::FilterScratch scratch;
+  const auto got = pareto::filter_indices(
+      pts.size(), [&](std::uint32_t i) -> const Objective& { return pts[i]; },
+      scratch);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    EXPECT_EQ(static_cast<std::size_t>(got[k]), ref[k]) << "position " << k;
+}
+
+TEST_P(SolutionSetProperty, OfAndFilterMatchBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+  const ObjVec pts = random_points(rng, 60, 30);
+  const ObjVec expect = brute_force_filter(pts);
+  EXPECT_EQ(pareto::pareto_filter(pts), expect);
+
+  const auto set = pareto::SolutionSet::of(pts);
+  EXPECT_EQ(set, expect);
+  EXPECT_TRUE(set.invariant_ok());
+
+  // In-place filter with reused scratch reaches the same staircase, and is
+  // idempotent.
+  pareto::SolutionSet raw;
+  pareto::FilterScratch scratch;
+  for (const Objective& p : pts) raw.append_raw(p);
+  raw.filter(scratch);
+  EXPECT_EQ(raw, expect);
+  raw.filter(scratch);
+  EXPECT_EQ(raw, expect);
+}
+
+TEST_P(SolutionSetProperty, ShiftMatchesShifted) {
+  util::Rng rng(static_cast<std::uint64_t>(1100 + GetParam()));
+  const ObjVec pts = random_points(rng, 40, 50);
+  const pareto::Length x = rng.uniform_int(0, 20);
+  auto set = pareto::SolutionSet::of(pts);
+  const ObjVec expect = pareto::shifted(set.objectives(), x);
+  set.shift(x);
+  EXPECT_EQ(set, expect);
+  EXPECT_TRUE(set.invariant_ok());  // translation preserves the staircase
+}
+
+TEST_P(SolutionSetProperty, MergeMatchesParetoSumAndBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(1200 + GetParam()));
+  const auto a = pareto::SolutionSet::of(random_points(rng, 25, 30));
+  const auto b = pareto::SolutionSet::of(random_points(rng, 25, 30));
+  pareto::SolutionSet out;
+  pareto::FilterScratch scratch;
+  pareto::SolutionSet::merge(a, b, out, scratch);
+  EXPECT_EQ(out, pareto::pareto_sum(a, b));
+  EXPECT_TRUE(out.invariant_ok());
+
+  ObjVec cross;
+  for (const Objective& pa : a)
+    for (const Objective& pb : b)
+      cross.push_back({pa.w + pb.w, std::max(pa.d, pb.d)});
+  EXPECT_EQ(out, brute_force_filter(cross));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolutionSetProperty, ::testing::Range(0, 25));
+
+TEST(SolutionSet, SelectRecordsPayloadIndices) {
+  const ObjVec pts{{5, 1}, {3, 3}, {3, 3}, {9, 9}, {1, 7}};
+  auto set = pareto::SolutionSet::select(pts);
+  // Staircase: (1,7), (3,3), (5,1); (3,3) keeps the first duplicate.
+  EXPECT_EQ(set, (ObjVec{{1, 7}, {3, 3}, {5, 1}}));
+  ASSERT_TRUE(set.has_payload());
+  ASSERT_EQ(set.payload().size(), 3u);
+  EXPECT_EQ(set.payload()[0], 4u);
+  EXPECT_EQ(set.payload()[1], 1u);
+  EXPECT_EQ(set.payload()[2], 0u);
+  for (std::size_t k = 0; k < set.size(); ++k)
+    EXPECT_EQ(pts[set.payload()[k]], set[k]);
+
+  std::vector<std::string> tags{"a", "b", "c", "d", "e"};
+  const auto gathered = pareto::take_payload(set, std::move(tags));
+  EXPECT_EQ(gathered, (std::vector<std::string>{"e", "b", "a"}));
+  EXPECT_FALSE(set.has_payload());  // stripped: set and vector now parallel
+}
+
+TEST(SolutionSet, TakePayloadWithoutPayloadIsIdentity) {
+  auto set = pareto::SolutionSet::of({{1, 2}, {3, 1}});
+  std::vector<int> items{10, 20};
+  EXPECT_EQ(pareto::take_payload(set, std::move(items)),
+            (std::vector<int>{10, 20}));
+}
+
+TEST(SolutionSet, AdoptStaircaseAndInvariant) {
+  const auto set = pareto::SolutionSet::adopt_staircase({{1, 9}, {4, 4}, {7, 2}});
+  EXPECT_TRUE(set.invariant_ok());
+  EXPECT_EQ(set.front(), (Objective{1, 9}));
+  EXPECT_EQ(set.back(), (Objective{7, 2}));
+
+  pareto::SolutionSet bad;
+  bad.append_raw({1, 1});
+  bad.append_raw({2, 2});  // d not descending: dominated point
+  EXPECT_FALSE(bad.invariant_ok());
+  bad.filter();
+  EXPECT_TRUE(bad.invariant_ok());
+  EXPECT_EQ(bad, (ObjVec{{1, 1}}));
 }
 
 }  // namespace
