@@ -1,10 +1,16 @@
-// Global allocation counter for single-TU bench programs.
+// Global + per-thread allocation counters for single-TU bench programs.
 //
 // Including this header replaces the global operator new/delete with
 // counting forwarders, so a harness can report how many heap allocations a
 // phase performed (the arena-backed DW refactor is held to an allocation
 // budget; see bench_lutgen_speed).  Include from exactly ONE translation
 // unit per binary — the replaced operators are program-wide.
+//
+// Besides the process-wide total, every thread that allocates gets its own
+// counter slot (registered on its first allocation, kept alive after the
+// thread exits so late snapshots still see its work).  thread_alloc_counts()
+// snapshots all slots; diffing two snapshots around a parallel phase shows
+// how allocation pressure was distributed across pool workers.
 //
 // peak_rss_kb() reads VmHWM from /proc/self/status (Linux); returns 0
 // where that is unavailable.
@@ -14,7 +20,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <new>
+#include <vector>
 
 namespace patlabor::bench {
 
@@ -23,6 +32,66 @@ inline std::atomic<unsigned long long> g_alloc_count{0};
 /// Allocations observed so far (monotone; diff around a phase to scope it).
 inline unsigned long long alloc_count() {
   return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// One thread's allocation counter.  Heap-allocated and owned jointly by
+/// the registry and the thread, so it outlives the thread.
+struct ThreadAllocSlot {
+  std::atomic<unsigned long long> count{0};
+};
+
+namespace alloc_detail {
+
+struct SlotRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadAllocSlot>> slots;
+};
+
+inline SlotRegistry& slot_registry() {
+  static SlotRegistry r;
+  return r;
+}
+
+/// Keeps the slot registered for the thread's lifetime without allocating
+/// in its own constructor (it is a thread_local touched from operator new).
+struct SlotHandle {
+  std::shared_ptr<ThreadAllocSlot> slot;
+};
+
+/// The calling thread's counter, or nullptr while the slot is still being
+/// registered (registration itself allocates; the guard flag breaks the
+/// operator new -> register -> operator new recursion).
+inline std::atomic<unsigned long long>* local_alloc_counter() {
+  thread_local bool registering = false;
+  thread_local SlotHandle handle;
+  if (handle.slot == nullptr) {
+    if (registering) return nullptr;
+    registering = true;
+    auto slot = std::make_shared<ThreadAllocSlot>();
+    {
+      SlotRegistry& r = slot_registry();
+      std::lock_guard<std::mutex> lock(r.mu);
+      r.slots.push_back(slot);
+    }
+    handle.slot = std::move(slot);
+    registering = false;
+  }
+  return &handle.slot->count;
+}
+
+}  // namespace alloc_detail
+
+/// Snapshot of every per-thread counter (one entry per thread that ever
+/// allocated, in registration order — stable across snapshots, so entries
+/// of two snapshots can be diffed index-by-index).
+inline std::vector<unsigned long long> thread_alloc_counts() {
+  auto& r = alloc_detail::slot_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<unsigned long long> out;
+  out.reserve(r.slots.size());
+  for (const auto& s : r.slots)
+    out.push_back(s->count.load(std::memory_order_relaxed));
+  return out;
 }
 
 /// Peak resident set size in KiB (VmHWM), or 0 when unavailable.
@@ -49,6 +118,8 @@ inline long peak_rss_kb() {
 
 void* operator new(std::size_t n) {
   patlabor::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (auto* c = patlabor::bench::alloc_detail::local_alloc_counter())
+    c->fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n != 0 ? n : 1)) return p;
   throw std::bad_alloc();
 }

@@ -12,20 +12,28 @@
 // records total normalized hypervolume alongside the walls, so the perf
 // trajectory across PRs carries a quality trajectory too (diff event files
 // across checkouts with tools/patlabor_obsdiff).
+// With --scaling-sweep the harness instead routes the same netlist at
+// jobs in {1,2,4,8} with telemetry on, records per-worker timelines, lock
+// waits, cache shard skew and per-thread allocation deltas, decomposes
+// each wall clock into serial / execute / imbalance / lock-wait / residual,
+// and writes BENCH_route_batch_scaling.json for tools/patlabor_scaling to
+// fit and gate on (see DESIGN.md §6.2).
 #include "common.hpp"
 
+#include <cinttypes>
+#include <cstring>
+
+#include "alloc_hook.hpp"
 #include "patlabor/obs/events.hpp"
+#include "patlabor/obs/trace.hpp"
 
-int main() {
-  using namespace patlabor;
-  const auto bench_jobs = static_cast<std::size_t>(
-      std::max(1, bench::env_int("PATLABOR_BENCH_JOBS", 4)));
-  const std::size_t lambda = 7;  // subnets hit the cached degree-6 table
+namespace {
 
-  const lut::LookupTable table = bench::cached_lut(6);
+using namespace patlabor;
 
-  // Mixed workload: degree-degree proportions loosely following Table III
-  // (small nets dominate), plus local-search nets up to degree 24.
+// Mixed workload: degree-degree proportions loosely following Table III
+// (small nets dominate), plus local-search nets up to degree 24.
+std::vector<geom::Net> make_netlist() {
   std::vector<geom::Net> nets;
   util::Rng rng(41);
   const std::size_t small = util::scaled_count(24);
@@ -34,6 +42,222 @@ int main() {
     nets.push_back(netgen::clustered_net(rng, 4 + i % 6));  // degrees 4..9
   for (std::size_t i = 0; i < large; ++i)
     nets.push_back(netgen::clustered_net(rng, 12 + (i * 4) % 13));
+  return nets;
+}
+
+/// Raw telemetry + derived decomposition of one sweep point.
+struct SweepPoint {
+  std::size_t jobs = 0;
+  std::uint64_t wall_us = 0;
+  std::uint64_t batch_wall_us = 0;
+  std::vector<par::WorkerStats> workers;
+  par::PoolLockStats pool_lock;
+  engine::CacheStats cache;
+  unsigned long long allocs = 0;
+  std::vector<unsigned long long> thread_allocs;  // per-thread deltas
+  // Decomposition (categories sum to wall_us exactly; residual is signed).
+  std::uint64_t serial_us = 0;
+  std::uint64_t exec_us = 0;
+  std::uint64_t imbalance_us = 0;
+  std::uint64_t lock_us = 0;
+  std::int64_t residual_us = 0;
+};
+
+SweepPoint run_sweep_point(std::size_t jobs, const lut::LookupTable& table,
+                          const std::vector<geom::Net>& nets) {
+  engine::EngineOptions eopt;
+  eopt.table = &table;
+  eopt.lambda = 7;
+  eopt.jobs = jobs;
+  eopt.cache.enabled = true;  // fresh engine: all misses, shard locks hot
+  engine::Engine eng(eopt);
+
+  const auto alloc0 = bench::alloc_count();
+  const auto threads0 = bench::thread_alloc_counts();
+  obs::clear_trace();
+  eng.pool()->reset_stats();
+
+  const std::uint64_t t0 = obs::now_us();
+  auto results = eng.route_batch(nets, {});
+  const std::uint64_t t1 = obs::now_us();
+  if (results.size() != nets.size()) std::abort();
+
+  SweepPoint p;
+  p.jobs = jobs;
+  p.wall_us = t1 - t0;
+  p.batch_wall_us = eng.pool()->batch_wall_us();
+  p.workers = eng.pool()->worker_stats();
+  p.pool_lock = eng.pool()->lock_stats();
+  p.cache = eng.cache_stats();
+  p.allocs = bench::alloc_count() - alloc0;
+  const auto threads1 = bench::thread_alloc_counts();
+  for (std::size_t i = 0; i < threads1.size(); ++i)
+    p.thread_allocs.push_back(threads1[i] -
+                              (i < threads0.size() ? threads0[i] : 0));
+
+  // Wall-clock decomposition.  Lane busy time is wall time inside task
+  // bodies, so cache-shard lock waits (taken inside tasks) are carved out
+  // of execute; pool queue-lock waits happen outside task bodies.  The
+  // residual absorbs scheduling/wakeup overhead and is the only signed
+  // category — everything sums back to wall_us by construction.
+  const std::size_t n = p.workers.empty() ? 1 : p.workers.size();
+  std::uint64_t busy_sum = 0, busy_max = 0;
+  for (const auto& w : p.workers) {
+    busy_sum += w.busy_us;
+    busy_max = std::max(busy_max, w.busy_us);
+  }
+  std::uint64_t cache_wait = 0;
+  for (const auto& sh : p.cache.shards) cache_wait += sh.lock.wait_us;
+  const std::uint64_t busy_mean = busy_sum / n;
+  const std::uint64_t cache_wait_mean = cache_wait / n;
+  const std::uint64_t lock_mean = (cache_wait + p.pool_lock.wait_us) / n;
+  p.serial_us = p.wall_us > p.batch_wall_us ? p.wall_us - p.batch_wall_us : 0;
+  p.exec_us = busy_mean > cache_wait_mean ? busy_mean - cache_wait_mean : 0;
+  p.imbalance_us = busy_max - busy_mean;
+  p.lock_us = lock_mean;
+  p.residual_us = static_cast<std::int64_t>(p.wall_us) -
+                  static_cast<std::int64_t>(p.serial_us + p.exec_us +
+                                            p.imbalance_us + p.lock_us);
+  return p;
+}
+
+int run_scaling_sweep() {
+  if (!obs::compiled_in()) {
+    std::printf("scaling sweep needs a PATLABOR_OBS=ON build; skipping\n");
+    return 0;
+  }
+  obs::set_enabled(true);
+  const lut::LookupTable table = bench::cached_lut(6);
+  const std::vector<geom::Net> nets = make_netlist();
+
+  // Instrumentation overhead at jobs=1: runtime switch off vs on, best of
+  // two passes each (first pass doubles as warmup).
+  auto timed_run = [&](bool obs_on) {
+    obs::set_enabled(obs_on);
+    engine::EngineOptions eopt;
+    eopt.table = &table;
+    eopt.lambda = 7;
+    eopt.jobs = 1;
+    eopt.cache.enabled = true;
+    engine::Engine eng(eopt);
+    const std::uint64_t t0 = obs::now_us();
+    auto r = eng.route_batch(nets, {});
+    const std::uint64_t t1 = obs::now_us();
+    if (r.size() != nets.size()) std::abort();
+    return t1 - t0;
+  };
+  const std::uint64_t off_us =
+      std::min(timed_run(false), timed_run(false));
+  const std::uint64_t on_us = std::min(timed_run(true), timed_run(true));
+  const double overhead_pct =
+      static_cast<double>(on_us) / static_cast<double>(off_us) * 100.0 -
+      100.0;
+  obs::set_enabled(true);
+
+  const std::size_t jobs_list[] = {1, 2, 4, 8};
+  std::vector<SweepPoint> points;
+  for (const std::size_t j : jobs_list) {
+    points.push_back(run_sweep_point(j, table, nets));
+    if (j == 4)  // one per-worker-lane trace as a browsable artifact
+      obs::write_trace_json(
+          bench::out_path("route_batch_scaling.trace.json"),
+          obs::drain_trace());
+  }
+
+  io::AsciiTable out({"Jobs", "Wall", "Serial", "Exec", "Imbal", "Lock",
+                      "Residual", "Speedup"});
+  const double base = static_cast<double>(points.front().wall_us);
+  const auto signed_dur = [](std::int64_t us) {
+    const std::string s = util::format_duration(std::abs(us) * 1e-6);
+    return us < 0 ? "-" + s : s;
+  };
+  for (const SweepPoint& p : points)
+    out.add_row({std::to_string(p.jobs),
+                 util::format_duration(p.wall_us * 1e-6),
+                 util::format_duration(p.serial_us * 1e-6),
+                 util::format_duration(p.exec_us * 1e-6),
+                 util::format_duration(p.imbalance_us * 1e-6),
+                 util::format_duration(p.lock_us * 1e-6),
+                 signed_dur(p.residual_us),
+                 util::fixed(base / static_cast<double>(p.wall_us), 2)});
+  out.print("\nScaling sweep (" + std::to_string(nets.size()) +
+            " nets, cache on, telemetry on)");
+  std::printf("Instrumentation overhead at jobs=1: %+.2f%% "
+              "(obs on %s vs off %s)\n",
+              overhead_pct, util::format_duration(on_us * 1e-6).c_str(),
+              util::format_duration(off_us * 1e-6).c_str());
+
+  const std::string path = bench::out_path("BENCH_route_batch_scaling.json");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::printf("[bench] cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"route_batch_scaling\",\n"
+               "  \"net_count\": %zu,\n  \"obs_overhead_pct\": %.4f,\n"
+               "  \"sweep\": [",
+               nets.size(), overhead_pct);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(f,
+                 "%s\n    {\"jobs\": %zu, \"wall_us\": %" PRIu64
+                 ", \"batch_wall_us\": %" PRIu64 ",\n     \"workers\": [",
+                 i == 0 ? "" : ",", p.jobs, p.wall_us, p.batch_wall_us);
+    for (std::size_t w = 0; w < p.workers.size(); ++w)
+      std::fprintf(f,
+                   "%s{\"tasks\": %" PRIu64 ", \"busy_us\": %" PRIu64
+                   ", \"queue_wait_us\": %" PRIu64 "}",
+                   w == 0 ? "" : ", ", p.workers[w].tasks,
+                   p.workers[w].busy_us, p.workers[w].queue_wait_us);
+    std::fprintf(f,
+                 "],\n     \"pool_lock\": {\"acquisitions\": %" PRIu64
+                 ", \"contentions\": %" PRIu64 ", \"wait_us\": %" PRIu64
+                 "},\n     \"cache\": {\"hits\": %" PRIu64
+                 ", \"misses\": %" PRIu64 ", \"entries\": %zu, "
+                 "\"shards\": [",
+                 p.pool_lock.acquisitions, p.pool_lock.contentions,
+                 p.pool_lock.wait_us, p.cache.hits, p.cache.misses,
+                 p.cache.entries);
+    for (std::size_t s = 0; s < p.cache.shards.size(); ++s) {
+      const engine::ShardStats& sh = p.cache.shards[s];
+      std::fprintf(f,
+                   "%s{\"entries\": %zu, \"hits\": %" PRIu64
+                   ", \"misses\": %" PRIu64 ", \"lock_wait_us\": %" PRIu64
+                   ", \"lock_contentions\": %" PRIu64 "}",
+                   s == 0 ? "" : ", ", sh.entries, sh.hits, sh.misses,
+                   sh.lock.wait_us, sh.lock.contentions);
+    }
+    std::fprintf(f, "]},\n     \"allocs\": %llu, \"thread_allocs\": [",
+                 p.allocs);
+    for (std::size_t t = 0; t < p.thread_allocs.size(); ++t)
+      std::fprintf(f, "%s%llu", t == 0 ? "" : ", ", p.thread_allocs[t]);
+    std::fprintf(f,
+                 "],\n     \"decomposition\": {\"serial_us\": %" PRIu64
+                 ", \"exec_us\": %" PRIu64 ", \"imbalance_us\": %" PRIu64
+                 ", \"lock_us\": %" PRIu64 ", \"residual_us\": %" PRId64
+                 "}}",
+                 p.serial_us, p.exec_us, p.imbalance_us, p.lock_us,
+                 p.residual_us);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("Scaling JSON: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--scaling-sweep") == 0)
+    return run_scaling_sweep();
+  const auto bench_jobs = static_cast<std::size_t>(
+      std::max(1, bench::env_int("PATLABOR_BENCH_JOBS", 4)));
+  const std::size_t lambda = 7;  // subnets hit the cached degree-6 table
+
+  const lut::LookupTable table = bench::cached_lut(6);
+
+  std::vector<geom::Net> nets = make_netlist();
 
   auto route_all = [&](std::size_t jobs, obs::EventSink* events) {
     engine::EngineOptions eopt;

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Snapshots the machine-readable bench records (BENCH_*.json) into the
+# tracked bench/snapshots/<date>/ tree, so the perf trajectory across PRs
+# is diffable from git history alone — bench/out/ itself is gitignored
+# scratch space.
+#
+#   scripts/bench_snapshot.sh [src-dir] [label]
+#
+#   src-dir  directory holding BENCH_*.json (default: build/bench/bench/out,
+#            where `cmake --build build && cd build/bench && ./bench_*`
+#            leaves them; bench/out is tried as a fallback)
+#   label    snapshot directory name (default: today's UTC date, YYYY-MM-DD;
+#            an existing snapshot of the same label is overwritten)
+#
+# Commit the resulting bench/snapshots/<label>/ directory with the PR that
+# produced the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+src="${1:-}"
+if [[ -z "$src" ]]; then
+  for cand in build/bench/bench/out bench/out; do
+    if compgen -G "$cand/BENCH_*.json" > /dev/null; then
+      src="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$src" ]] || ! compgen -G "$src/BENCH_*.json" > /dev/null; then
+  echo "bench_snapshot: no BENCH_*.json found (run the bench suite first," \
+       "or pass the directory holding them)" >&2
+  exit 1
+fi
+
+label="${2:-$(date -u +%F)}"
+dest="bench/snapshots/$label"
+mkdir -p "$dest"
+n=0
+for f in "$src"/BENCH_*.json; do
+  cp "$f" "$dest/"
+  n=$((n + 1))
+done
+echo "bench_snapshot: copied $n file(s) from $src to $dest"
+ls -1 "$dest"

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + full ctest, the obsdiff regression gate
-# (two-run self-compare + perturbed-seed failure path, under PATLABOR_OBS
-# ON and OFF builds), an ASan+UBSan pass over the arena-backed DW solvers
-# and the SolutionSet kernels, then a ThreadSanitizer pass over the
-# parallel execution layer (par/) and observability (obs/) tests.
+# Repo verification: tier-1 build + full ctest, the scaling-attribution
+# gate (jobs sweep -> patlabor_scaling must account for the wall clock),
+# the obsdiff regression gate (two-run self-compare + perturbed-seed
+# failure path, under PATLABOR_OBS ON and OFF builds), an ASan+UBSan pass
+# over the arena-backed DW solvers and the SolutionSet kernels, then a
+# ThreadSanitizer pass over the parallel execution layer (par/, including
+# the pool timeline/TimedMutex instrumentation) and observability (obs/)
+# tests.
 #
 #   scripts/verify.sh            # everything
+#   scripts/verify.sh --quick    # tier-1 build + ctest only (no benches,
+#                                # no sanitizer or gate passes)
 #   scripts/verify.sh --no-tsan  # skip the TSan pass
 #   scripts/verify.sh --no-asan  # skip the ASan pass
 set -euo pipefail
@@ -13,9 +18,11 @@ cd "$(dirname "$0")/.."
 
 run_tsan=1
 run_asan=1
+quick=0
 for arg in "$@"; do
   [[ "$arg" == "--no-tsan" ]] && run_tsan=0
   [[ "$arg" == "--no-asan" ]] && run_asan=0
+  [[ "$arg" == "--quick" ]] && quick=1
 done
 
 echo "== tier-1: build + ctest (frontier cache on and off) =="
@@ -24,8 +31,19 @@ cmake --build build -j
 (cd build && PATLABOR_CACHE=0 ctest --output-on-failure -j)
 (cd build && PATLABOR_CACHE=1 ctest --output-on-failure -j)
 
+if [[ $quick -eq 1 ]]; then
+  echo "verify: OK (quick)"
+  exit 0
+fi
+
 echo "== engine cache bench: cold/warm/nocache bit-identity =="
 (cd build/bench && REPRO_SCALE="${REPRO_SCALE:-0.5}" ./bench_engine_cache)
+
+echo "== scaling gate: jobs sweep + attribution analysis =="
+(cd build/bench && REPRO_SCALE="${REPRO_SCALE:-0.5}" \
+  ./bench_route_batch --scaling-sweep)
+./build/tools/patlabor_scaling \
+  build/bench/bench/out/BENCH_route_batch_scaling.json
 
 echo "== obsdiff gate: self-compare + perturbed seed (PATLABOR_OBS=ON) =="
 (

@@ -38,16 +38,13 @@ std::optional<CacheEntry> FrontierCache::find(
   Shard& sh = shard_of(key);
   std::optional<CacheEntry> out;
   {
-    std::lock_guard<std::mutex> lock(sh.mu);
+    std::lock_guard<obs::TimedMutex> lock(sh.mu);
     const auto it = sh.index.find(key);
     if (it != sh.index.end() && it->second->second.pins == pins) {
       sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
       out = it->second->second;
     }
-  }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    out ? ++hits_ : ++misses_;
+    out ? ++sh.hits : ++sh.misses;
   }
   if (out) {
     PL_COUNT("engine.cache.hit", 1);
@@ -63,7 +60,7 @@ void FrontierCache::insert(std::uint64_t key, CacheEntry entry) {
   std::uint64_t evicted = 0;
   std::int64_t delta = 0;
   {
-    std::lock_guard<std::mutex> lock(sh.mu);
+    std::lock_guard<obs::TimedMutex> lock(sh.mu);
     const auto it = sh.index.find(key);
     if (it != sh.index.end()) {
       it->second->second = std::move(entry);
@@ -79,38 +76,40 @@ void FrontierCache::insert(std::uint64_t key, CacheEntry entry) {
         --delta;
       }
     }
+    sh.evictions += evicted;
   }
   if (delta != 0)
     PL_GAUGE_SET("engine.cache.entries",
                  population_.fetch_add(delta, std::memory_order_relaxed) +
                      delta);
-  if (evicted > 0) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      evictions_ += evicted;
-    }
-    PL_COUNT("engine.cache.evict", evicted);
-  }
+  if (evicted > 0) PL_COUNT("engine.cache.evict", evicted);
 }
 
 CacheStats FrontierCache::stats() const {
   CacheStats s;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    s.hits = hits_;
-    s.misses = misses_;
-    s.evictions = evictions_;
-  }
+  s.shards.reserve(shards_.size());
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
-    s.entries += sh->lru.size();
+    ShardStats ss;
+    ss.lock = sh->mu.stats();
+    {
+      std::lock_guard<obs::TimedMutex> lock(sh->mu);
+      ss.entries = sh->lru.size();
+      ss.hits = sh->hits;
+      ss.misses = sh->misses;
+      ss.evictions = sh->evictions;
+    }
+    s.hits += ss.hits;
+    s.misses += ss.misses;
+    s.evictions += ss.evictions;
+    s.entries += ss.entries;
+    s.shards.push_back(std::move(ss));
   }
   return s;
 }
 
 void FrontierCache::clear() {
   for (const auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    std::lock_guard<obs::TimedMutex> lock(sh->mu);
     sh->lru.clear();
     sh->index.clear();
   }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "patlabor/geom/point.hpp"
+#include "patlabor/obs/timed_mutex.hpp"
 #include "patlabor/pareto/solution_set.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
@@ -41,13 +42,25 @@ struct CacheOptions {
   std::optional<bool> enabled;
 };
 
+/// Per-stripe counters: population, hit/miss/eviction skew, and the
+/// stripe's lock-wait totals (all-zero lock stats under PATLABOR_OBS=OFF).
+struct ShardStats {
+  std::size_t entries = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  obs::LockStats lock;
+};
+
 /// Point-in-time counters.  hits/misses/evictions are cumulative; entries
-/// is the current population.
+/// is the current population.  `shards` breaks the same totals down per
+/// stripe so skew (one hot stripe serializing everyone) is visible.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::size_t entries = 0;
+  std::vector<ShardStats> shards;
 };
 
 /// A cached routing answer.  `pins` is the exact pin sequence this entry
@@ -80,10 +93,17 @@ class FrontierCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    /// Lock-wait accounting per stripe; contended waits also roll up into
+    /// the engine.cache.lock.* counter family.
+    obs::TimedMutex mu{"engine.cache.lock"};
     /// Front = most recently used.
     std::list<std::pair<std::uint64_t, CacheEntry>> lru;
     std::unordered_map<std::uint64_t, decltype(lru)::iterator> index;
+    // Counters live with the stripe and are updated under its lock — the
+    // old whole-cache stats mutex serialized every find() across shards.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
   };
 
   Shard& shard_of(std::uint64_t key);
@@ -94,10 +114,6 @@ class FrontierCache {
   /// Approximate live population, mirrored into the engine.cache.entries
   /// gauge for the metrics exposition layer.
   std::atomic<std::int64_t> population_{0};
-  mutable std::mutex stats_mu_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace patlabor::engine

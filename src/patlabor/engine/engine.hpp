@@ -123,6 +123,12 @@ class Engine {
   CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
 
+  /// The pool route_batch runs on: the engine's private pool when
+  /// options.jobs != 0, else the process-global pool.  Exposed so callers
+  /// (the scaling bench, diagnostics) can read its worker timelines and
+  /// lock stats; do not run batches on it behind the engine's back.
+  par::ThreadPool* pool() const;
+
  private:
   RouteResponse route_impl(const geom::Net& net, const RouteRequest& request,
                            obs::NetEvent* event) const;
@@ -130,7 +136,6 @@ class Engine {
                                obs::NetEvent* event) const;
   core::PatLaborOptions patlabor_options() const;
   const lut::LookupTable* table() const;
-  par::ThreadPool* pool() const;
   /// The configured event sink, or nullptr when events are off (always
   /// nullptr — folded away — in PATLABOR_OBS=OFF builds).
   obs::EventSink* event_sink() const;

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "patlabor/obs/obs.hpp"
+#include "patlabor/obs/timed_mutex.hpp"
 #include "patlabor/obs/trace.hpp"
 #include "patlabor/util/str.hpp"
 
@@ -19,11 +20,34 @@ namespace patlabor::par {
 
 namespace {
 
+/// Pointers into one lane's counters, or all-null when accounting is off
+/// for this drain (obs disabled at submit time).
+struct LaneCounters {
+  std::atomic<std::uint64_t>* tasks = nullptr;
+  std::atomic<std::uint64_t>* busy_us = nullptr;
+  std::atomic<std::uint64_t>* queue_wait_us = nullptr;
+};
+
+#if PATLABOR_OBS_ENABLED
+/// Task-nesting depth on this thread.  A task that submits a nested batch
+/// executes inner tasks inside its own timed window, so lane busy time is
+/// accumulated only at depth 0 — otherwise nested work would be counted
+/// twice and per-lane busy could exceed wall clock.
+thread_local int t_task_depth = 0;
+
+struct TaskDepthGuard {
+  TaskDepthGuard() noexcept { ++t_task_depth; }
+  ~TaskDepthGuard() { --t_task_depth; }
+};
+#endif  // PATLABOR_OBS_ENABLED
+
 /// One submitted batch of n index-tasks, drained cooperatively by workers
 /// and the submitting thread.
 struct Batch {
   const std::function<void(std::size_t)>* fn = nullptr;
   std::size_t n = 0;
+  /// Submission timestamp (obs::now_us), 0 when telemetry was off.
+  std::uint64_t submit_us = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex mu;
@@ -32,8 +56,29 @@ struct Batch {
   std::exception_ptr err;
   std::size_t err_index = std::numeric_limits<std::size_t>::max();
 
-  void drain() {
+  void drain(const LaneCounters& lane) {
+#if PATLABOR_OBS_ENABLED
+    bool first_claim = true;
+#else
+    (void)lane;
+#endif
     for (std::size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+#if PATLABOR_OBS_ENABLED
+      std::uint64_t t0 = 0;
+      const bool rec = lane.tasks != nullptr && obs::enabled();
+      const bool outermost = t_task_depth == 0;
+      if (rec) {
+        t0 = obs::now_us();
+        if (first_claim) {
+          first_claim = false;
+          // Per-lane handoff latency: submit -> this lane's first claim.
+          if (submit_us != 0 && t0 > submit_us)
+            lane.queue_wait_us->fetch_add(t0 - submit_us,
+                                          std::memory_order_relaxed);
+        }
+      }
+      TaskDepthGuard depth_guard;
+#endif
       try {
         (*fn)(i);
       } catch (...) {
@@ -43,6 +88,15 @@ struct Batch {
           err = std::current_exception();
         }
       }
+#if PATLABOR_OBS_ENABLED
+      if (rec) {
+        const std::uint64_t t1 = obs::now_us();
+        if (outermost)
+          lane.busy_us->fetch_add(t1 - t0, std::memory_order_relaxed);
+        lane.tasks->fetch_add(1, std::memory_order_relaxed);
+        obs::record_span("pool.task", t0, t1 - t0);
+      }
+#endif
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_all();
@@ -51,21 +105,59 @@ struct Batch {
   }
 };
 
+/// The worker lane of the current thread, valid for the pool whose Impl
+/// pointer matches t_worker_pool (workers never migrate between pools).
+thread_local const void* t_worker_pool = nullptr;
+thread_local std::size_t t_worker_lane = 0;
+
+#if PATLABOR_OBS_ENABLED
+/// run_indexed nesting depth on this thread; only depth-1 non-worker
+/// batches count toward ThreadPool::batch_wall_us().
+thread_local int t_run_depth = 0;
+
+/// RAII accumulator for the top-level batch wall clock.
+class BatchWallScope {
+ public:
+  BatchWallScope(std::atomic<std::uint64_t>& wall, bool top_candidate,
+                 bool recording) {
+    ++t_run_depth;
+    if (recording && top_candidate && t_run_depth == 1) {
+      acc_ = &wall;
+      t0_ = obs::now_us();
+    }
+  }
+  ~BatchWallScope() {
+    --t_run_depth;
+    if (acc_ != nullptr)
+      acc_->fetch_add(obs::now_us() - t0_, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t>* acc_ = nullptr;
+  std::uint64_t t0_ = 0;
+};
+#endif  // PATLABOR_OBS_ENABLED
+
 }  // namespace
 
 struct ThreadPool::Impl {
-  std::mutex mu;
-  std::condition_variable cv;
+  /// Batch-queue lock; wait accounting surfaces scheduler contention as
+  /// the par.pool.lock.* metric family (see DESIGN.md §6.2).
+  obs::TimedMutex mu{"par.pool.lock"};
+  std::condition_variable_any cv;
   std::deque<std::shared_ptr<Batch>> queue;
   bool stop = false;
   std::vector<std::thread> workers;
+  LaneStats* lanes = nullptr;  // borrowed from the owning pool
 
   void worker_main(std::size_t index) {
     obs::set_thread_name("pool.worker-" + std::to_string(index));
+    t_worker_pool = this;
+    t_worker_lane = index;
     for (;;) {
       std::shared_ptr<Batch> batch;
       {
-        std::unique_lock<std::mutex> lock(mu);
+        std::unique_lock<obs::TimedMutex> lock(mu);
         cv.wait(lock, [&] { return stop || !queue.empty(); });
         if (stop && queue.empty()) return;
         batch = queue.front();
@@ -74,8 +166,14 @@ struct ThreadPool::Impl {
         if (batch->next.load(std::memory_order_relaxed) >= batch->n)
           queue.pop_front();
       }
-      batch->drain();
-      std::lock_guard<std::mutex> lock(mu);
+      LaneCounters lc;
+#if PATLABOR_OBS_ENABLED
+      lc.tasks = &lanes[index].tasks;
+      lc.busy_us = &lanes[index].busy_us;
+      lc.queue_wait_us = &lanes[index].queue_wait_us;
+#endif
+      batch->drain(lc);
+      std::lock_guard<obs::TimedMutex> lock(mu);
       if (!queue.empty() && queue.front() == batch &&
           batch->next.load(std::memory_order_relaxed) >= batch->n)
         queue.pop_front();
@@ -83,10 +181,13 @@ struct ThreadPool::Impl {
   }
 };
 
-ThreadPool::ThreadPool(std::size_t threads) : size_(threads == 0 ? 1 : threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : size_(threads == 0 ? 1 : threads),
+      lanes_(std::make_unique<LaneStats[]>(size_)) {
   PL_GAUGE_SET("par.pool.size", size_);
   if (size_ == 1) return;  // inline fallback: no workers, no queue
   impl_ = new Impl;
+  impl_->lanes = lanes_.get();
   impl_->workers.reserve(size_ - 1);
   for (std::size_t i = 0; i + 1 < size_; ++i)
     impl_->workers.emplace_back([this, i] { impl_->worker_main(i); });
@@ -95,7 +196,7 @@ ThreadPool::ThreadPool(std::size_t threads) : size_(threads == 0 ? 1 : threads) 
 ThreadPool::~ThreadPool() {
   if (impl_ == nullptr) return;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    std::lock_guard<obs::TimedMutex> lock(impl_->mu);
     impl_->stop = true;
   }
   impl_->cv.notify_all();
@@ -103,29 +204,110 @@ ThreadPool::~ThreadPool() {
   delete impl_;
 }
 
+std::size_t ThreadPool::lane_of_caller() const noexcept {
+  if (impl_ != nullptr && t_worker_pool == impl_) return t_worker_lane;
+  return size_ - 1;
+}
+
 void ThreadPool::run_indexed(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  const std::size_t lane = lane_of_caller();
   if (impl_ == nullptr || n == 1) {
+#if PATLABOR_OBS_ENABLED
+    if (obs::enabled()) {
+      BatchWallScope wall(batch_wall_us_, lane == size_ - 1, true);
+      LaneStats& ls = lanes_[lane];
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool outermost = t_task_depth == 0;
+        const std::uint64_t t0 = obs::now_us();
+        {
+          TaskDepthGuard depth_guard;
+          fn(i);
+        }
+        const std::uint64_t t1 = obs::now_us();
+        if (outermost)
+          ls.busy_us.fetch_add(t1 - t0, std::memory_order_relaxed);
+        ls.tasks.fetch_add(1, std::memory_order_relaxed);
+        obs::record_span("pool.task", t0, t1 - t0);
+      }
+      return;
+    }
+#endif
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->n = n;
+#if PATLABOR_OBS_ENABLED
+  const bool rec = obs::enabled();
+  if (rec) batch->submit_us = obs::now_us();
+  BatchWallScope wall(batch_wall_us_, lane == size_ - 1, rec);
+#endif
+  std::size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    std::lock_guard<obs::TimedMutex> lock(impl_->mu);
     impl_->queue.push_back(batch);
+    depth = impl_->queue.size();
   }
+  // Sampled on every submit: how many batches were pending at that moment.
+  PL_GAUGE_SET("par.pool.queue_depth", depth);
   impl_->cv.notify_all();
-  batch->drain();  // the submitting thread is a full participant
+  LaneCounters lc;
+#if PATLABOR_OBS_ENABLED
+  if (rec) {
+    lc.tasks = &lanes_[lane].tasks;
+    lc.busy_us = &lanes_[lane].busy_us;
+    lc.queue_wait_us = &lanes_[lane].queue_wait_us;
+  }
+#endif
+  batch->drain(lc);  // the submitting thread is a full participant
   {
     std::unique_lock<std::mutex> lock(batch->mu);
     batch->cv.wait(lock, [&] {
       return batch->done.load(std::memory_order_acquire) == batch->n;
     });
-    if (batch->err) std::rethrow_exception(batch->err);
   }
+  PL_COUNT("par.pool.batches", 1);
+  PL_COUNT("par.pool.tasks", n);
+  PL_HIST("par.pool.batch_tasks", n);
+  if (batch->err) std::rethrow_exception(batch->err);
+}
+
+std::vector<WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i].tasks = lanes_[i].tasks.load(std::memory_order_relaxed);
+    out[i].busy_us = lanes_[i].busy_us.load(std::memory_order_relaxed);
+    out[i].queue_wait_us =
+        lanes_[i].queue_wait_us.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t ThreadPool::batch_wall_us() const {
+  return batch_wall_us_.load(std::memory_order_relaxed);
+}
+
+PoolLockStats ThreadPool::lock_stats() const {
+  PoolLockStats out;
+  if (impl_ == nullptr) return out;
+  const obs::LockStats s = impl_->mu.stats();
+  out.acquisitions = s.acquisitions;
+  out.contentions = s.contentions;
+  out.wait_us = s.wait_us;
+  return out;
+}
+
+void ThreadPool::reset_stats() {
+  for (std::size_t i = 0; i < size_; ++i) {
+    lanes_[i].tasks.store(0, std::memory_order_relaxed);
+    lanes_[i].busy_us.store(0, std::memory_order_relaxed);
+    lanes_[i].queue_wait_us.store(0, std::memory_order_relaxed);
+  }
+  batch_wall_us_.store(0, std::memory_order_relaxed);
+  if (impl_ != nullptr) impl_->mu.reset_stats();
 }
 
 namespace {

@@ -15,14 +15,33 @@
 // calling thread — the zero-dependency fallback path spawns nothing.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "patlabor/util/rng.hpp"
 
 namespace patlabor::par {
+
+/// Per-lane execution accounting (one lane per worker thread plus one for
+/// the submitting caller).  All zero when the obs runtime is disabled or
+/// instrumentation is compiled out (PATLABOR_OBS=OFF).
+struct WorkerStats {
+  std::uint64_t tasks = 0;          ///< index-tasks executed on this lane
+  std::uint64_t busy_us = 0;        ///< wall time spent inside task fns
+  std::uint64_t queue_wait_us = 0;  ///< batch submit -> lane pickup latency
+};
+
+/// Per-lane lock-wait totals of the pool's batch-queue mutex (see
+/// obs::TimedMutex); aggregate only — the queue mutex is shared.
+struct PoolLockStats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contentions = 0;
+  std::uint64_t wait_us = 0;
+};
 
 /// Fixed-size worker pool.  `threads` is the total parallelism of a batch:
 /// the pool owns threads-1 workers and the submitting thread contributes
@@ -43,10 +62,43 @@ class ThreadPool {
   /// one with the smallest index wins (deterministic for any pool size).
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // ---- Concurrency observatory (all zero under PATLABOR_OBS=OFF or with
+  // the obs runtime disabled; see DESIGN.md §6.2) ----
+
+  /// Per-lane timeline totals: size() entries, lanes [0, size()-2] are the
+  /// pool workers and the last lane is the submitting caller.  Nested
+  /// batches drained by a worker are attributed to that worker's lane.
+  std::vector<WorkerStats> worker_stats() const;
+
+  /// Accumulated wall time of *top-level* run_indexed batches (nested
+  /// batches submitted from a worker are already inside a top-level one).
+  std::uint64_t batch_wall_us() const;
+
+  /// Lock-wait totals of the batch-queue mutex.
+  PoolLockStats lock_stats() const;
+
+  /// Zeroes worker_stats() / batch_wall_us() / lock_stats() — scope a
+  /// measurement window without rebuilding the pool.
+  void reset_stats();
+
  private:
   struct Impl;
+  /// One lane's counters, cache-line padded so concurrent lanes never
+  /// share a line.  Lives outside Impl: a size-1 pool has no Impl (the
+  /// inline fallback) but still accounts the caller lane.
+  struct alignas(64) LaneStats {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_us{0};
+    std::atomic<std::uint64_t> queue_wait_us{0};
+  };
+  /// The calling thread's lane index (its worker lane, or size_-1 for any
+  /// non-worker submitter).
+  std::size_t lane_of_caller() const noexcept;
+
   Impl* impl_ = nullptr;
   std::size_t size_ = 1;
+  std::unique_ptr<LaneStats[]> lanes_;
+  std::atomic<std::uint64_t> batch_wall_us_{0};
 };
 
 /// Effective job count: the last set_jobs() value if any, else the

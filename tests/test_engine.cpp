@@ -168,6 +168,51 @@ TEST(FrontierCache, ZeroCapacityDisablesStorage) {
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+TEST(FrontierCache, PerShardStatsSumToTheTotals) {
+  engine::FrontierCache cache(/*capacity=*/64, /*shards=*/4);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    cache.find(k, {{int(k), int(k)}});  // miss
+    cache.insert(k, entry_with({{int(k), int(k)}}));
+    cache.find(k, {{int(k), int(k)}});  // hit
+  }
+  const engine::CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 32u);
+  EXPECT_EQ(s.misses, 32u);
+  EXPECT_EQ(s.entries, 32u);
+  ASSERT_EQ(s.shards.size(), 4u);
+  std::uint64_t hits = 0, misses = 0;
+  std::size_t entries = 0, populated = 0;
+  for (const engine::ShardStats& sh : s.shards) {
+    hits += sh.hits;
+    misses += sh.misses;
+    entries += sh.entries;
+    if (sh.entries > 0) ++populated;
+    // Hit/miss traffic happens on the stripe that owns the key.
+    EXPECT_EQ(sh.hits, sh.entries);
+  }
+  EXPECT_EQ(hits, s.hits);
+  EXPECT_EQ(misses, s.misses);
+  EXPECT_EQ(entries, s.entries);
+  // The Fibonacci stripe mix should spread 32 keys over several stripes.
+  EXPECT_GE(populated, 2u);
+}
+
+TEST(FrontierCache, ShardLockStatsAccumulateWhenObsEnabled) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built without PATLABOR_OBS";
+  const bool was = obs::enabled();
+  obs::set_enabled(true);
+  engine::FrontierCache cache(16, 2);
+  cache.insert(7, entry_with({{7, 7}}));
+  cache.find(7, {{7, 7}});
+  std::uint64_t acquisitions = 0;
+  for (const engine::ShardStats& sh : cache.stats().shards)
+    acquisitions += sh.lock.acquisitions;
+  // One insert + one find, both taking their stripe's lock (stats() reads
+  // the lock counters before re-acquiring, so its own locks don't count).
+  EXPECT_GE(acquisitions, 2u);
+  obs::set_enabled(was);
+}
+
 // ---- MethodRegistry ----
 
 TEST(MethodRegistry, CoversAllSevenConstructors) {

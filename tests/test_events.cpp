@@ -134,14 +134,22 @@ TEST(EventSink, DeterministicFilesAreByteIdenticalAcrossJobs) {
   for (bool cache : {true, false}) {
     const std::string p1 = "events_det_j1.jsonl";
     const std::string p4 = "events_det_j4.jsonl";
+    const std::string p8 = "events_det_j8.jsonl";
     route_with_events(nets, p1, 1, /*deterministic=*/true, cache);
     route_with_events(nets, p4, 4, /*deterministic=*/true, cache);
+    // Oversubscribed pool (more lanes than cores on most CI boxes): the
+    // ordered flush must still serialize records in input order.
+    route_with_events(nets, p8, 8, /*deterministic=*/true, cache);
     const std::string a = read_file(p1);
     const std::string b = read_file(p4);
     EXPECT_FALSE(a.empty());
     EXPECT_EQ(a, b) << "cache=" << cache
                     << ": deterministic event files differ between jobs 1 "
                        "and jobs 4";
+    EXPECT_EQ(a, read_file(p8))
+        << "cache=" << cache
+        << ": deterministic event files differ between jobs 1 and jobs 8";
+    std::remove(p8.c_str());
     // Golden shape: deterministic records never carry timing or hit/miss.
     EXPECT_EQ(a.find("wall_us"), std::string::npos);
     EXPECT_EQ(a.find("cpu_us"), std::string::npos);

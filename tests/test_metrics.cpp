@@ -61,6 +61,64 @@ TEST_F(MetricsTest, QuantileExactForEvenlySpacedValuesInOneBucket) {
   EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, 1.0), 7.0);
 }
 
+TEST_F(MetricsTest, QuantileOfSingleZeroObservationIsZero) {
+  // Value 0 lands in bucket 0 whose lower bound is already 0 — the
+  // min/max tightening must still pin every quantile to the observation.
+  const Histogram::Summary s = record_all({0});
+  for (double q : {0.0, 0.5, 1.0})
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, q), 0.0) << "q=" << q;
+}
+
+TEST_F(MetricsTest, QuantileOfPowerOfTwoSingleValueIsExact) {
+  // 2^k sits on a bucket boundary; both tightened bounds collapse onto it.
+  for (std::uint64_t v : {1ull, 2ull, 1024ull, 1ull << 40, 1ull << 63}) {
+    const Histogram::Summary s = record_all({v});
+    for (double q : {0.0, 0.5, 1.0})
+      EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, q),
+                       static_cast<double>(v))
+          << "v=" << v << " q=" << q;
+  }
+}
+
+TEST_F(MetricsTest, QuantileOfRepeatedValueCollapsesTheBucket) {
+  // All mass on one value: min == max squeezes the only bucket to a point,
+  // regardless of count (the c == 1 shortcut must not be load-bearing).
+  const Histogram::Summary s = record_all({8, 8, 8, 8, 8});
+  for (double q : {0.0, 0.3, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, q), 8.0) << "q=" << q;
+}
+
+TEST_F(MetricsTest, QuantileOfMergedSingleValueShardsStaysExact) {
+  // Per-thread histogram shards merge before quantile evaluation; two
+  // shards of the same lone value must behave like one shard of count 2.
+  Histogram a, b;
+  a.record(5);
+  b.record(5);
+  const auto merged = obs::merge_summaries(a.summary(), b.summary());
+  EXPECT_EQ(merged.count, 2u);
+  for (double q : {0.0, 0.5, 1.0})
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(merged, q), 5.0) << "q=" << q;
+
+  // Disjoint lone values: the endpoints are the shard values.
+  Histogram c, d;
+  c.record(3);
+  d.record(100);
+  const auto span = obs::merge_summaries(c.summary(), d.summary());
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(span, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(span, 1.0), 100.0);
+}
+
+TEST_F(MetricsTest, QuantileEndpointsMatchExtremesInsideOneBucket) {
+  // {6, 6, 7} shares the [4,7] bucket: interior quantiles interpolate, but
+  // the endpoints must be the recorded extremes exactly.
+  const Histogram::Summary s = record_all({6, 6, 7});
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, 0.0), 6.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(s, 1.0), 7.0);
+  const double mid = obs::histogram_quantile(s, 0.5);
+  EXPECT_GE(mid, 6.0);
+  EXPECT_LE(mid, 7.0);
+}
+
 TEST_F(MetricsTest, QuantileIsMonotoneAndBoundedByMinMax) {
   const Histogram::Summary s = record_all({1, 3, 9, 120, 4096, 70000});
   double prev = -1.0;

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "patlabor/obs/json.hpp"
 #include "patlabor/obs/obs.hpp"
 #include "patlabor/obs/report.hpp"
+#include "patlabor/obs/timed_mutex.hpp"
 
 namespace patlabor {
 namespace {
@@ -271,6 +274,84 @@ TEST_F(ObsTest, SpansFromMultipleThreadsGetDistinctTids) {
   const auto events = obs::drain_trace();
   ASSERT_EQ(events.size(), 2u);
   EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+// ---- TimedMutex: lock-wait accounting ----
+
+TEST_F(ObsTest, TimedMutexCountsUncontendedAcquisitions) {
+  PL_REQUIRE_COMPILED_IN();
+  obs::set_enabled(true);
+  obs::TimedMutex mu;
+  for (int i = 0; i < 5; ++i) {
+    std::lock_guard<obs::TimedMutex> lock(mu);
+  }
+  const obs::LockStats s = mu.stats();
+  EXPECT_EQ(s.acquisitions, 5u);
+  EXPECT_EQ(s.contentions, 0u);  // never blocked
+  EXPECT_EQ(s.wait_us, 0u);
+}
+
+TEST_F(ObsTest, TimedMutexMeasuresContendedWaitAndMirrorsFamily) {
+  PL_REQUIRE_COMPILED_IN();
+  obs::set_enabled(true);
+  obs::TimedMutex mu("test.lockfam");
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    mu.lock();
+    held.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mu.unlock();
+  });
+  while (!held.load()) std::this_thread::yield();
+  mu.lock();  // blocks until the holder releases
+  mu.unlock();
+  holder.join();
+
+  const obs::LockStats s = mu.stats();
+  EXPECT_EQ(s.acquisitions, 2u);
+  EXPECT_EQ(s.contentions, 1u);
+  EXPECT_GE(s.wait_us, 1000u);  // the holder slept 20ms while holding
+
+  // Contended waits roll up into the <family>.* registry counters.
+  const auto snap = StatsRegistry::instance().snapshot();
+  ASSERT_TRUE(snap.counters.count("test.lockfam.contended"));
+  EXPECT_EQ(snap.counters.at("test.lockfam.contended"), 1u);
+  EXPECT_GE(snap.counters.at("test.lockfam.wait_us"), 1000u);
+
+  mu.reset_stats();
+  EXPECT_EQ(mu.stats().acquisitions, 0u);
+  EXPECT_EQ(mu.stats().wait_us, 0u);
+}
+
+TEST_F(ObsTest, TimedMutexIsInertWhileRuntimeDisabled) {
+  ASSERT_FALSE(obs::enabled());
+  obs::TimedMutex mu("test.lockfam_off");
+  {
+    std::lock_guard<obs::TimedMutex> lock(mu);
+  }
+  EXPECT_EQ(mu.stats().acquisitions, 0u);
+  EXPECT_EQ(StatsRegistry::instance().snapshot().counters.count(
+                "test.lockfam_off.contended"),
+            0u);
+}
+
+TEST_F(ObsTest, TimedMutexStillExcludesUnderAllConfigurations) {
+  // Mutual exclusion must hold in every build (PATLABOR_OBS=OFF compiles
+  // the wrapper down to a plain std::mutex) and whether or not the
+  // runtime switch is on.
+  obs::set_enabled(obs::compiled_in());
+  obs::TimedMutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        std::lock_guard<obs::TimedMutex> lock(mu);
+        ++counter;  // unsynchronized without the mutex
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 8000);
 }
 
 TEST(ObsJson, ParsesScalarsAndStructures) {

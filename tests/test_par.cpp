@@ -2,6 +2,7 @@
 // per-task RNG streams, and the determinism contract — LUT generation,
 // route_batch and the local search must produce bit-identical output for
 // every pool size, including 1, and across repeated runs.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <numeric>
@@ -127,6 +128,125 @@ TEST(ObsIntegration, PoolWorkersRegisterNamedTraceLanes) {
   const std::string json = obs::trace_json({});
   EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
   EXPECT_NE(json.find("pool.worker-"), std::string::npos);
+}
+
+// ---- Concurrency observatory: per-lane timelines ----
+
+class PoolObservatory : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::compiled_in()) GTEST_SKIP() << "built without PATLABOR_OBS";
+    was_enabled_ = obs::enabled();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    if (obs::compiled_in()) obs::set_enabled(was_enabled_);
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(PoolObservatory, WorkerStatsCoverEveryLaneAndSumToBatchSize) {
+  par::ThreadPool pool(4);
+  pool.run_indexed(64, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  });
+  const auto ws = pool.worker_stats();
+  ASSERT_EQ(ws.size(), 4u);  // 3 workers + the submitting caller
+  std::uint64_t tasks = 0, busy = 0;
+  for (const auto& w : ws) {
+    tasks += w.tasks;
+    busy += w.busy_us;
+  }
+  EXPECT_EQ(tasks, 64u);
+  EXPECT_GT(busy, 0u);
+  EXPECT_GT(pool.batch_wall_us(), 0u);
+  // The caller drains cooperatively, so its lane always claims work.
+  EXPECT_GT(ws.back().tasks, 0u);
+
+  pool.reset_stats();
+  const auto zeroed = pool.worker_stats();
+  for (const auto& w : zeroed) {
+    EXPECT_EQ(w.tasks, 0u);
+    EXPECT_EQ(w.busy_us, 0u);
+    EXPECT_EQ(w.queue_wait_us, 0u);
+  }
+  EXPECT_EQ(pool.batch_wall_us(), 0u);
+  EXPECT_EQ(pool.lock_stats().wait_us, 0u);
+}
+
+TEST_F(PoolObservatory, InlinePoolAccountsTheCallerLane) {
+  par::ThreadPool pool(1);  // no Impl: the pure inline path
+  pool.run_indexed(8, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  });
+  const auto ws = pool.worker_stats();
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws[0].tasks, 8u);
+  EXPECT_GT(ws[0].busy_us, 0u);
+  EXPECT_GT(pool.batch_wall_us(), 0u);
+  EXPECT_EQ(pool.lock_stats().acquisitions, 0u);  // no queue, no lock
+}
+
+TEST_F(PoolObservatory, NestedBatchesDoNotDoubleCountBusyTime) {
+  // Single lane: everything runs on the calling thread, so lane busy time
+  // must equal the measured wall.  Double-counting nested tasks inside
+  // their parent's timed window would roughly double it.
+  par::ThreadPool pool(1);
+  const std::uint64_t t0 = obs::now_us();
+  pool.run_indexed(1, [&](std::size_t) {
+    pool.run_indexed(4, [](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+  });
+  const std::uint64_t elapsed = obs::now_us() - t0;
+  const auto ws = pool.worker_stats();
+  ASSERT_EQ(ws.size(), 1u);
+  EXPECT_LE(ws[0].busy_us, elapsed + 1000u);
+  EXPECT_GE(ws[0].busy_us, 8000u);  // 4 nested sleeps of 2ms
+  EXPECT_EQ(ws[0].tasks, 1u + 4u);  // task counts do include nested tasks
+  // Only the top-level batch counts toward the batch wall.
+  EXPECT_LE(pool.batch_wall_us(), elapsed + 1000u);
+
+  // Multi-lane smoke: nested work spread across workers still sums.
+  par::ThreadPool pool2(2);
+  pool2.run_indexed(2, [&](std::size_t) {
+    pool2.run_indexed(4, [](std::size_t) {});
+  });
+  std::uint64_t tasks = 0;
+  std::uint64_t max_busy = 0;
+  for (const auto& w : pool2.worker_stats()) {
+    tasks += w.tasks;
+    max_busy = std::max(max_busy, w.busy_us);
+  }
+  EXPECT_EQ(tasks, 2u + 2u * 4u);
+  EXPECT_LE(max_busy, pool2.batch_wall_us() + 1000u);
+}
+
+TEST_F(PoolObservatory, StatsStayZeroWhileRuntimeDisabled) {
+  obs::set_enabled(false);
+  par::ThreadPool pool(3);
+  pool.run_indexed(32, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  for (const auto& w : pool.worker_stats()) {
+    EXPECT_EQ(w.tasks, 0u);
+    EXPECT_EQ(w.busy_us, 0u);
+  }
+  EXPECT_EQ(pool.batch_wall_us(), 0u);
+  EXPECT_EQ(pool.lock_stats().acquisitions, 0u);
+}
+
+TEST_F(PoolObservatory, PerTaskSpansLandInWorkerTraceLanes) {
+  obs::clear_trace();
+  par::ThreadPool pool(2);
+  pool.run_indexed(6, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  const auto events = obs::drain_trace();
+  std::size_t spans = 0;
+  for (const auto& e : events)
+    if (e.name == "pool.task") ++spans;
+  EXPECT_EQ(spans, 6u);
 }
 
 // ---- Determinism golden-compares across pool sizes ----

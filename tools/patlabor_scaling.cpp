@@ -1,0 +1,282 @@
+// patlabor_scaling — scaling-sweep analyzer and attribution gate.
+//
+//   patlabor_scaling <BENCH_route_batch_scaling.json> [--tol FRAC] [--quiet]
+//
+// Ingests the jobs-sweep JSON written by `bench_route_batch
+// --scaling-sweep` and answers the question the raw walls cannot: *where*
+// does the wall clock go as the pool widens?  For every sweep point it
+// recomputes the decomposition
+//
+//   wall = serial + execute + imbalance + lock-wait + residual
+//
+// from the raw per-worker timelines / lock counters (cross-checking the
+// bench's own arithmetic), prints the breakdown with speedups, and fits
+// two standard scaling laws to the measured speedup curve:
+//
+//   Amdahl   S(N) = 1 / (s + (1-s)/N)            (serial fraction s)
+//   USL      S(N) = N / (1 + a(N-1) + kN(N-1))   (contention a, coherency k)
+//
+// The gate is about attribution well-formedness, not speed — a 1-core box
+// legitimately shows no speedup, but the telemetry must still account for
+// the wall it measured:
+//   * recomputed categories match the recorded ones,
+//   * every category is non-negative,
+//   * |residual| <= max(tol * wall, 10 ms)  (default tol 0.10),
+//   * max worker busy <= batch wall (+tol), batch wall <= wall (+tol).
+//
+// Exit codes (consumed by scripts/verify.sh):
+//   0  attribution well-formed
+//   1  attribution malformed (telemetry lost track of the wall clock)
+//   2  usage error or unreadable/malformed input
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "patlabor/obs/json.hpp"
+
+namespace {
+
+using patlabor::obs::json::Value;
+
+struct Point {
+  double jobs = 0;
+  double wall_us = 0;
+  double batch_wall_us = 0;
+  double busy_sum = 0, busy_max = 0, queue_wait_sum = 0;
+  double pool_wait_us = 0;
+  double cache_wait_us = 0;
+  double cache_hits = 0, cache_misses = 0;
+  double shard_wait_max = 0;
+  // As recorded by the bench.
+  double serial_us = 0, exec_us = 0, imbalance_us = 0, lock_us = 0,
+         residual_us = 0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: patlabor_scaling <BENCH_route_batch_scaling.json> "
+               "[--tol FRAC] [--quiet]\n");
+  return 2;
+}
+
+double num_or(const Value& obj, const char* key, double fallback) {
+  const Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+bool load_points(const Value& root, std::vector<Point>& out) {
+  const Value* sweep = root.find("sweep");
+  if (sweep == nullptr || !sweep->is_array() || sweep->arr.empty())
+    return false;
+  for (const Value& pv : sweep->arr) {
+    if (!pv.is_object()) return false;
+    Point p;
+    p.jobs = num_or(pv, "jobs", 0);
+    p.wall_us = num_or(pv, "wall_us", -1);
+    p.batch_wall_us = num_or(pv, "batch_wall_us", -1);
+    if (p.jobs < 1 || p.wall_us < 0 || p.batch_wall_us < 0) return false;
+    const Value* workers = pv.find("workers");
+    if (workers == nullptr || !workers->is_array() ||
+        workers->arr.size() != static_cast<std::size_t>(p.jobs))
+      return false;
+    for (const Value& w : workers->arr) {
+      const double busy = num_or(w, "busy_us", 0);
+      p.busy_sum += busy;
+      p.busy_max = std::max(p.busy_max, busy);
+      p.queue_wait_sum += num_or(w, "queue_wait_us", 0);
+    }
+    if (const Value* pl = pv.find("pool_lock"))
+      p.pool_wait_us = num_or(*pl, "wait_us", 0);
+    if (const Value* cache = pv.find("cache")) {
+      p.cache_hits = num_or(*cache, "hits", 0);
+      p.cache_misses = num_or(*cache, "misses", 0);
+      if (const Value* shards = cache->find("shards");
+          shards != nullptr && shards->is_array())
+        for (const Value& sh : shards->arr) {
+          const double w = num_or(sh, "lock_wait_us", 0);
+          p.cache_wait_us += w;
+          p.shard_wait_max = std::max(p.shard_wait_max, w);
+        }
+    }
+    const Value* d = pv.find("decomposition");
+    if (d == nullptr || !d->is_object()) return false;
+    p.serial_us = num_or(*d, "serial_us", -1);
+    p.exec_us = num_or(*d, "exec_us", -1);
+    p.imbalance_us = num_or(*d, "imbalance_us", -1);
+    p.lock_us = num_or(*d, "lock_us", -1);
+    p.residual_us = num_or(*d, "residual_us", 0);
+    if (p.serial_us < 0 || p.exec_us < 0 || p.imbalance_us < 0 ||
+        p.lock_us < 0)
+      return false;
+    out.push_back(p);
+  }
+  return true;
+}
+
+/// Least-squares serial fraction of Amdahl's law over (jobs, speedup).
+double fit_amdahl(const std::vector<double>& n, const std::vector<double>& s) {
+  double best = 1.0, best_err = 1e300;
+  for (double f = 0.0; f <= 1.0; f += 1e-4) {
+    double err = 0;
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      const double pred = 1.0 / (f + (1.0 - f) / n[i]);
+      err += (pred - s[i]) * (pred - s[i]);
+    }
+    if (err < best_err) {
+      best_err = err;
+      best = f;
+    }
+  }
+  return best;
+}
+
+/// Least-squares (contention, coherency) of the Universal Scalability Law.
+std::pair<double, double> fit_usl(const std::vector<double>& n,
+                                  const std::vector<double>& s) {
+  double ba = 0, bk = 0, best_err = 1e300;
+  for (double a = 0.0; a <= 1.0; a += 2e-3)
+    for (double k = 0.0; k <= 0.02; k += 1e-4) {
+      double err = 0;
+      for (std::size_t i = 0; i < n.size(); ++i) {
+        const double pred =
+            n[i] / (1.0 + a * (n[i] - 1.0) + k * n[i] * (n[i] - 1.0));
+        err += (pred - s[i]) * (pred - s[i]);
+      }
+      if (err < best_err) {
+        best_err = err;
+        ba = a;
+        bk = k;
+      }
+    }
+  return {ba, bk};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  double tol = 0.10;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
+      tol = std::atof(argv[++i]);
+      if (!(tol > 0)) return usage();
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto root = patlabor::obs::json::parse(ss.str());
+  if (!root || !root->is_object()) {
+    std::fprintf(stderr, "error: %s is not valid JSON\n", path.c_str());
+    return 2;
+  }
+  std::vector<Point> pts;
+  if (!load_points(*root, pts)) {
+    std::fprintf(stderr, "error: %s lacks a well-formed sweep array\n",
+                 path.c_str());
+    return 2;
+  }
+
+  const double nets = num_or(*root, "net_count", 0);
+  const double overhead = num_or(*root, "obs_overhead_pct", 0);
+
+  if (!quiet) {
+    std::printf("scaling sweep: %s (%g nets, obs overhead %+.2f%%)\n\n",
+                path.c_str(), nets, overhead);
+    std::printf("%5s %10s %8s %8s %8s %8s %9s %8s\n", "jobs", "wall(ms)",
+                "serial%", "exec%", "imbal%", "lock%", "resid%", "speedup");
+  }
+
+  bool ok = true;
+  std::vector<double> jobs, speedup;
+  const double wall1 = pts.front().wall_us;
+  for (const Point& p : pts) {
+    const double wall = p.wall_us;
+    const double slack = std::max(tol * wall, 10e3);  // >=10ms for tiny runs
+
+    // Recompute every category from the raw telemetry; the bench's own
+    // arithmetic must agree (integer-division differences aside).
+    const double busy_mean = p.busy_sum / p.jobs;
+    const double cache_mean = p.cache_wait_us / p.jobs;
+    const double lock_mean = (p.cache_wait_us + p.pool_wait_us) / p.jobs;
+    const double serial = std::max(0.0, wall - p.batch_wall_us);
+    const double exec = std::max(0.0, busy_mean - cache_mean);
+    const double imbalance = p.busy_max - busy_mean;
+    const double residual = wall - serial - exec - imbalance - lock_mean;
+    const double eps = p.jobs + 2.0;  // integer truncation bound
+    const auto close = [&](double a, double b) {
+      return std::fabs(a - b) <= eps;
+    };
+    if (!close(serial, p.serial_us) || !close(exec, p.exec_us) ||
+        !close(imbalance, p.imbalance_us) || !close(lock_mean, p.lock_us) ||
+        !close(residual, p.residual_us)) {
+      std::printf("FAIL jobs=%g: recorded decomposition disagrees with raw "
+                  "telemetry\n",
+                  p.jobs);
+      ok = false;
+    }
+    // Attribution well-formedness.
+    if (std::fabs(p.residual_us) > slack) {
+      std::printf("FAIL jobs=%g: residual %.0fus exceeds %.0fus "
+                  "(unattributed wall)\n",
+                  p.jobs, p.residual_us, slack);
+      ok = false;
+    }
+    if (p.busy_max > p.batch_wall_us * (1.0 + tol) + slack) {
+      std::printf("FAIL jobs=%g: max worker busy %.0fus exceeds batch wall "
+                  "%.0fus\n",
+                  p.jobs, p.busy_max, p.batch_wall_us);
+      ok = false;
+    }
+    if (p.batch_wall_us > wall * (1.0 + tol) + slack) {
+      std::printf("FAIL jobs=%g: batch wall %.0fus exceeds wall %.0fus\n",
+                  p.jobs, p.batch_wall_us, wall);
+      ok = false;
+    }
+
+    jobs.push_back(p.jobs);
+    speedup.push_back(wall1 / wall);
+    if (!quiet)
+      std::printf("%5g %10.1f %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.1f%% %8.2f\n",
+                  p.jobs, wall * 1e-3, 100.0 * p.serial_us / wall,
+                  100.0 * p.exec_us / wall, 100.0 * p.imbalance_us / wall,
+                  100.0 * p.lock_us / wall, 100.0 * p.residual_us / wall,
+                  wall1 / wall);
+  }
+
+  if (!quiet) {
+    const double s = fit_amdahl(jobs, speedup);
+    const auto [a, k] = fit_usl(jobs, speedup);
+    std::printf("\nAmdahl fit: serial fraction s = %.4f "
+                "(implied S(inf) = %.2f)\n",
+                s, s > 0 ? 1.0 / s : std::numeric_limits<double>::infinity());
+    std::printf("USL fit:    contention a = %.4f, coherency k = %.5f\n", a,
+                k);
+    const Point& last = pts.back();
+    std::printf("hot stripe: max cache-shard lock wait %.0fus "
+                "(of %.0fus total) at jobs=%g\n",
+                last.shard_wait_max, last.cache_wait_us, last.jobs);
+    std::printf("\nattribution %s\n", ok ? "OK" : "MALFORMED");
+  }
+  return ok ? 0 : 1;
+}
