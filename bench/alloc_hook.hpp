@@ -10,7 +10,10 @@
 // counter slot (registered on its first allocation, kept alive after the
 // thread exits so late snapshots still see its work).  thread_alloc_counts()
 // snapshots all slots; diffing two snapshots around a parallel phase shows
-// how allocation pressure was distributed across pool workers.
+// how allocation pressure was distributed across pool workers.  Between
+// phases, compact_dead_thread_slots() reclaims the slots of exited threads
+// so a sweep over many short-lived pools doesn't report a growing tail of
+// dead zero-delta slots.
 //
 // peak_rss_kb() reads VmHWM from /proc/self/status (Linux); returns 0
 // where that is unavailable.
@@ -38,6 +41,9 @@ inline unsigned long long alloc_count() {
 /// the registry and the thread, so it outlives the thread.
 struct ThreadAllocSlot {
   std::atomic<unsigned long long> count{0};
+  /// Set by the owning thread's exit (SlotHandle destructor); slots marked
+  /// dead can be reclaimed by compact_dead_thread_slots().
+  std::atomic<bool> dead{false};
 };
 
 namespace alloc_detail {
@@ -54,8 +60,13 @@ inline SlotRegistry& slot_registry() {
 
 /// Keeps the slot registered for the thread's lifetime without allocating
 /// in its own constructor (it is a thread_local touched from operator new).
+/// Its destructor — thread exit — marks the slot dead so a later
+/// compact_dead_thread_slots() can reclaim it.
 struct SlotHandle {
   std::shared_ptr<ThreadAllocSlot> slot;
+  ~SlotHandle() {
+    if (slot != nullptr) slot->dead.store(true, std::memory_order_relaxed);
+  }
 };
 
 /// The calling thread's counter, or nullptr while the slot is still being
@@ -92,6 +103,21 @@ inline std::vector<unsigned long long> thread_alloc_counts() {
   for (const auto& s : r.slots)
     out.push_back(s->count.load(std::memory_order_relaxed));
   return out;
+}
+
+/// Drops the slots of threads that have exited (e.g. a torn-down private
+/// pool), returning how many were reclaimed.  Call only *between*
+/// measurement phases: removal renumbers the surviving slots, so snapshots
+/// taken on opposite sides of a compaction must not be diffed against each
+/// other index-by-index.
+inline std::size_t compact_dead_thread_slots() {
+  auto& r = alloc_detail::slot_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const std::size_t before = r.slots.size();
+  std::erase_if(r.slots, [](const std::shared_ptr<ThreadAllocSlot>& s) {
+    return s->dead.load(std::memory_order_relaxed);
+  });
+  return before - r.slots.size();
 }
 
 /// Peak resident set size in KiB (VmHWM), or 0 when unavailable.

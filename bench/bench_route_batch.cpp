@@ -14,14 +14,19 @@
 // across checkouts with tools/patlabor_obsdiff).
 // With --scaling-sweep the harness instead routes the same netlist at
 // jobs in {1,2,4,8} with telemetry on, records per-worker timelines, lock
-// waits, cache shard skew and per-thread allocation deltas, decomposes
-// each wall clock into serial / execute / imbalance / lock-wait / residual,
-// and writes BENCH_route_batch_scaling.json for tools/patlabor_scaling to
-// fit and gate on (see DESIGN.md §6.2).
+// waits, steal counts, cache shard skew and per-thread allocation deltas,
+// decomposes each wall clock into serial / execute / imbalance / lock-wait
+// / residual, and writes BENCH_route_batch_scaling.json for
+// tools/patlabor_scaling to fit and gate on (see DESIGN.md §6.2).
+// `--scaling-sweep --large` swaps in the 10k-net workload the speedup gate
+// is calibrated against (workload "large" in the JSON; the analyzer only
+// enforces the speedup bar on that workload, on hosts with >= 4 cores).
 #include "common.hpp"
 
 #include <cinttypes>
 #include <cstring>
+#include <limits>
+#include <thread>
 
 #include "alloc_hook.hpp"
 #include "patlabor/obs/events.hpp"
@@ -45,6 +50,43 @@ std::vector<geom::Net> make_netlist() {
   return nets;
 }
 
+// 10k-net workload for the scaling gate: the degree histogram of a
+// global-router handoff (~96% table-covered degrees 4..6, ~3% degree-7
+// nets that run the numeric Pareto-DW because the cached table stops at
+// degree 6, ~1% local-search tail), with roughly a third of the nets
+// repeats — translated (same canonical key, exact regime) or verbatim —
+// so the frontier cache sees realistic hit traffic under concurrency.
+std::vector<geom::Net> make_large_netlist() {
+  std::vector<geom::Net> nets;
+  util::Rng rng(1337);
+  const std::size_t total = util::scaled_count(10000);
+  nets.reserve(total);
+  while (nets.size() < total) {
+    const std::size_t roll = rng.index(100);
+    std::size_t degree = 0;
+    if (roll < 96)
+      degree = 4 + rng.index(3);  // 4..6: LUT-covered exact regime
+    else if (roll < 99)
+      degree = 7;  // exact regime past the table: numeric DW
+    else
+      degree = 10 + rng.index(6);  // local-search regime
+    nets.push_back(netgen::clustered_net(rng, degree));
+    if (nets.size() < total && rng.index(3) == 0) {
+      geom::Net copy = nets.back();
+      if (rng.index(2) == 0) {
+        const auto dx = static_cast<geom::Coord>(rng.uniform_int(-5000, 5000));
+        const auto dy = static_cast<geom::Coord>(rng.uniform_int(-5000, 5000));
+        for (geom::Point& p : copy.pins) {
+          p.x += dx;
+          p.y += dy;
+        }
+      }
+      nets.push_back(std::move(copy));
+    }
+  }
+  return nets;
+}
+
 /// Raw telemetry + derived decomposition of one sweep point.
 struct SweepPoint {
   std::size_t jobs = 0;
@@ -64,7 +106,8 @@ struct SweepPoint {
 };
 
 SweepPoint run_sweep_point(std::size_t jobs, const lut::LookupTable& table,
-                          const std::vector<geom::Net>& nets) {
+                          const std::vector<geom::Net>& nets,
+                          std::vector<engine::RouteResponse>* results_out) {
   engine::EngineOptions eopt;
   eopt.table = &table;
   eopt.lambda = 7;
@@ -72,6 +115,9 @@ SweepPoint run_sweep_point(std::size_t jobs, const lut::LookupTable& table,
   eopt.cache.enabled = true;  // fresh engine: all misses, shard locks hot
   engine::Engine eng(eopt);
 
+  // The previous point's private pool is gone; reap its dead counter slots
+  // so thread_allocs below lists only threads alive in *this* point.
+  bench::compact_dead_thread_slots();
   const auto alloc0 = bench::alloc_count();
   const auto threads0 = bench::thread_alloc_counts();
   obs::clear_trace();
@@ -81,6 +127,7 @@ SweepPoint run_sweep_point(std::size_t jobs, const lut::LookupTable& table,
   auto results = eng.route_batch(nets, {});
   const std::uint64_t t1 = obs::now_us();
   if (results.size() != nets.size()) std::abort();
+  if (results_out != nullptr) *results_out = std::move(results);
 
   SweepPoint p;
   p.jobs = jobs;
@@ -121,17 +168,24 @@ SweepPoint run_sweep_point(std::size_t jobs, const lut::LookupTable& table,
   return p;
 }
 
-int run_scaling_sweep() {
+int run_scaling_sweep(bool large) {
   if (!obs::compiled_in()) {
     std::printf("scaling sweep needs a PATLABOR_OBS=ON build; skipping\n");
     return 0;
   }
   obs::set_enabled(true);
   const lut::LookupTable table = bench::cached_lut(6);
-  const std::vector<geom::Net> nets = make_netlist();
+  const std::vector<geom::Net> nets =
+      large ? make_large_netlist() : make_netlist();
+  const char* workload = large ? "large" : "smoke";
+  const unsigned host_cores = std::thread::hardware_concurrency();
 
-  // Instrumentation overhead at jobs=1: runtime switch off vs on, best of
-  // two passes each (first pass doubles as warmup).
+  // Instrumentation overhead at jobs=1.  One untimed pass primes the
+  // allocator, the LUT cache and the page tables, then the two switch
+  // states are timed *interleaved* (one off + one on per round, best of
+  // three rounds) so clock drift and cache warmth hit both sides equally
+  // — timing all the off passes first systematically inflates the colder
+  // side and used to report negative overhead.
   auto timed_run = [&](bool obs_on) {
     obs::set_enabled(obs_on);
     engine::EngineOptions eopt;
@@ -146,9 +200,13 @@ int run_scaling_sweep() {
     if (r.size() != nets.size()) std::abort();
     return t1 - t0;
   };
-  const std::uint64_t off_us =
-      std::min(timed_run(false), timed_run(false));
-  const std::uint64_t on_us = std::min(timed_run(true), timed_run(true));
+  (void)timed_run(false);  // warm-up, untimed
+  std::uint64_t off_us = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t on_us = std::numeric_limits<std::uint64_t>::max();
+  for (int round = 0; round < 3; ++round) {
+    off_us = std::min(off_us, timed_run(false));
+    on_us = std::min(on_us, timed_run(true));
+  }
   const double overhead_pct =
       static_cast<double>(on_us) / static_cast<double>(off_us) * 100.0 -
       100.0;
@@ -156,8 +214,25 @@ int run_scaling_sweep() {
 
   const std::size_t jobs_list[] = {1, 2, 4, 8};
   std::vector<SweepPoint> points;
+  std::vector<engine::RouteResponse> golden;  // jobs=1 results
+  bool identical = true;
   for (const std::size_t j : jobs_list) {
-    points.push_back(run_sweep_point(j, table, nets));
+    std::vector<engine::RouteResponse> results;
+    points.push_back(run_sweep_point(j, table, nets, &results));
+    if (j == 1) {
+      golden = std::move(results);
+    } else {
+      // The determinism contract holds inside the sweep too: stealing,
+      // sharding and cache hits must not perturb a single frontier.
+      bool same = results.size() == golden.size();
+      for (std::size_t i = 0; same && i < results.size(); ++i)
+        same = results[i].frontier == golden[i].frontier &&
+               results[i].iterations == golden[i].iterations;
+      if (!same) {
+        std::printf("DETERMINISM VIOLATION at jobs=%zu\n", j);
+        identical = false;
+      }
+    }
     if (j == 4)  // one per-worker-lane trace as a browsable artifact
       obs::write_trace_json(
           bench::out_path("route_batch_scaling.trace.json"),
@@ -165,23 +240,27 @@ int run_scaling_sweep() {
   }
 
   io::AsciiTable out({"Jobs", "Wall", "Serial", "Exec", "Imbal", "Lock",
-                      "Residual", "Speedup"});
+                      "Residual", "Steals", "Speedup"});
   const double base = static_cast<double>(points.front().wall_us);
   const auto signed_dur = [](std::int64_t us) {
     const std::string s = util::format_duration(std::abs(us) * 1e-6);
     return us < 0 ? "-" + s : s;
   };
-  for (const SweepPoint& p : points)
+  for (const SweepPoint& p : points) {
+    std::uint64_t steals = 0;
+    for (const auto& w : p.workers) steals += w.steals;
     out.add_row({std::to_string(p.jobs),
                  util::format_duration(p.wall_us * 1e-6),
                  util::format_duration(p.serial_us * 1e-6),
                  util::format_duration(p.exec_us * 1e-6),
                  util::format_duration(p.imbalance_us * 1e-6),
                  util::format_duration(p.lock_us * 1e-6),
-                 signed_dur(p.residual_us),
+                 signed_dur(p.residual_us), std::to_string(steals),
                  util::fixed(base / static_cast<double>(p.wall_us), 2)});
-  out.print("\nScaling sweep (" + std::to_string(nets.size()) +
-            " nets, cache on, telemetry on)");
+  }
+  out.print("\nScaling sweep (" + std::to_string(nets.size()) + " nets [" +
+            workload + "], cache on, telemetry on, " +
+            std::to_string(host_cores) + " host cores)");
   std::printf("Instrumentation overhead at jobs=1: %+.2f%% "
               "(obs on %s vs off %s)\n",
               overhead_pct, util::format_duration(on_us * 1e-6).c_str(),
@@ -195,9 +274,12 @@ int run_scaling_sweep() {
   }
   std::fprintf(f,
                "{\n  \"bench\": \"route_batch_scaling\",\n"
+               "  \"workload\": \"%s\",\n  \"host_cores\": %u,\n"
                "  \"net_count\": %zu,\n  \"obs_overhead_pct\": %.4f,\n"
+               "  \"identical_across_jobs\": %s,\n"
                "  \"sweep\": [",
-               nets.size(), overhead_pct);
+               workload, host_cores, nets.size(), overhead_pct,
+               identical ? "true" : "false");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];
     std::fprintf(f,
@@ -207,9 +289,11 @@ int run_scaling_sweep() {
     for (std::size_t w = 0; w < p.workers.size(); ++w)
       std::fprintf(f,
                    "%s{\"tasks\": %" PRIu64 ", \"busy_us\": %" PRIu64
-                   ", \"queue_wait_us\": %" PRIu64 "}",
+                   ", \"queue_wait_us\": %" PRIu64 ", \"steals\": %" PRIu64
+                   ", \"stolen_tasks\": %" PRIu64 "}",
                    w == 0 ? "" : ", ", p.workers[w].tasks,
-                   p.workers[w].busy_us, p.workers[w].queue_wait_us);
+                   p.workers[w].busy_us, p.workers[w].queue_wait_us,
+                   p.workers[w].steals, p.workers[w].stolen_tasks);
     std::fprintf(f,
                  "],\n     \"pool_lock\": {\"acquisitions\": %" PRIu64
                  ", \"contentions\": %" PRIu64 ", \"wait_us\": %" PRIu64
@@ -243,14 +327,19 @@ int run_scaling_sweep() {
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("Scaling JSON: %s\n", path.c_str());
-  return 0;
+  std::printf("Outputs bit-identical across jobs 1/2/4/8: %s\n",
+              identical ? "yes" : "NO — DETERMINISM VIOLATION");
+  return identical ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--scaling-sweep") == 0)
-    return run_scaling_sweep();
+  if (argc > 1 && std::strcmp(argv[1], "--scaling-sweep") == 0) {
+    const bool large =
+        argc > 2 && std::strcmp(argv[2], "--large") == 0;
+    return run_scaling_sweep(large);
+  }
   const auto bench_jobs = static_cast<std::size_t>(
       std::max(1, bench::env_int("PATLABOR_BENCH_JOBS", 4)));
   const std::size_t lambda = 7;  // subnets hit the cached degree-6 table

@@ -40,5 +40,20 @@ for f in "$src"/BENCH_*.json; do
   cp "$f" "$dest/"
   n=$((n + 1))
 done
-echo "bench_snapshot: copied $n file(s) from $src to $dest"
+
+# Host context for reading the numbers later: scaling snapshots from a
+# 1-2 core box legitimately show no speedup (the patlabor_scaling speedup
+# gate auto-waives below 4 cores), so the core count must travel with the
+# JSONs the gate expectations are pinned against.
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+cat > "$dest/snapshot_meta.json" <<EOF
+{
+  "label": "$label",
+  "host_cores": $cores,
+  "repro_scale": "${REPRO_SCALE:-1}",
+  "speedup_gate": "enforced only for workload \"large\" with host_cores >= 4"
+}
+EOF
+
+echo "bench_snapshot: copied $n file(s) from $src to $dest (host_cores=$cores)"
 ls -1 "$dest"

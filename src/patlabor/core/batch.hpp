@@ -32,6 +32,9 @@ struct BatchOptions {
 };
 
 /// Routes every net, in parallel, returning results in input order.
+[[deprecated(
+    "core::route_batch builds a throwaway engine per call; construct an "
+    "engine::Engine and use Engine::route_batch instead")]]
 std::vector<PatLaborResult> route_batch(std::span<const geom::Net> nets,
                                         const BatchOptions& options = {});
 

@@ -9,6 +9,7 @@
 
 #include "patlabor/dw/pareto_dw.hpp"
 #include "patlabor/obs/obs.hpp"
+#include "patlabor/par/worker_context.hpp"
 #include "patlabor/rsma/rsma.hpp"
 #include "patlabor/rsmt/rsmt.hpp"
 #include "patlabor/tree/refine.hpp"
@@ -23,10 +24,13 @@ using tree::RoutingTree;
 
 namespace {
 
-/// Pareto-filters a tree population by objective, in place.
+/// Pareto-filters a tree population by objective, in place.  Selection
+/// buffers come from the executing thread's WorkerContext, so steady-state
+/// filtering reuses capacity instead of allocating per round.
 void filter_population(std::vector<RoutingTree>& trees) {
   const std::size_t before = trees.size();
-  auto set = pareto::SolutionSet::select(tree::objectives(trees));
+  auto& scratch = par::WorkerContext::current().get<pareto::FilterScratch>();
+  auto set = pareto::SolutionSet::select(tree::objectives(trees), scratch);
   trees = pareto::take_payload(set, std::move(trees));
   PL_COUNT("search.trees_filtered", before - trees.size());
 }
@@ -312,7 +316,12 @@ SmallFrontier exact_small_frontier(const Net& net,
   // A table that is present but too shallow for this degree is invisible to
   // query(); count the skip so the stats distinguish it from "no table".
   if (table != nullptr) PL_COUNT("lut.skipped_uncovered", 1);
-  auto r = dw::pareto_dw(net);
+  // Numeric DW runs in the local-search inner loop whenever the subnet
+  // degree exceeds the table (lambda-pin subnets are degree lambda, tables
+  // usually stop one short), so solver storage is reused per worker thread
+  // — this is where the per-batch allocation count mostly came from.
+  auto& scratch = par::WorkerContext::current().get<dw::DwScratch>();
+  auto r = dw::pareto_dw(net, {}, &scratch);
   return {std::move(r.frontier), std::move(r.trees)};
 }
 

@@ -56,19 +56,46 @@ struct State {
   util::ArenaSpan final_;
 };
 
+}  // namespace
+
+/// The reusable half of the solver: everything whose capacity survives a
+/// solve.  Cleared (cheaply — clear() keeps capacity) by the Solver ctor,
+/// so a stale scratch can never leak results into the next solve.
+struct DwScratch::Impl {
+  std::vector<NodeId> active;      // nodes surviving corner pruning
+  std::vector<NodeId> sink_node;   // grid node of each sink
+  std::vector<State> states;
+  util::Arena<BaseEntry> base_arena;
+  util::Arena<FinalEntry> final_arena;
+  std::vector<BaseEntry> base_scratch;    // merge candidates, reused
+  std::vector<FinalEntry> final_scratch;  // grow candidates, reused
+  pareto::FilterScratch filter_scratch;
+};
+
+DwScratch::DwScratch() : impl_(std::make_unique<Impl>()) {}
+DwScratch::~DwScratch() = default;
+DwScratch::DwScratch(DwScratch&&) noexcept = default;
+DwScratch& DwScratch::operator=(DwScratch&&) noexcept = default;
+
+namespace {
+
 class Solver {
  public:
-  Solver(const Net& net, const ParetoDwOptions& options)
-      : net_(net), options_(options), grid_(net.pins) {}
+  Solver(const Net& net, const ParetoDwOptions& options, DwScratch::Impl& s)
+      : net_(net), options_(options), grid_(net.pins), s_(s) {
+    s_.active.clear();
+    s_.base_arena.clear();
+    s_.final_arena.clear();
+  }
 
   ParetoDwResult run();
 
  private:
   State& state(NodeId v, std::uint32_t mask) {
-    return states_[static_cast<std::size_t>(v) * (full_ + 1) + mask];
+    return s_.states[static_cast<std::size_t>(v) * (full_ + 1) + mask];
   }
   const State& state(NodeId v, std::uint32_t mask) const {
-    return states_[static_cast<std::size_t>(v) * (full_ + 1) + mask];
+    return s_.states[static_cast<std::size_t>(v) * (full_ + 1) + mask];
   }
 
   void solve_mask(std::uint32_t mask);
@@ -81,14 +108,7 @@ class Solver {
   ParetoDwOptions options_;
   HananGrid grid_;
   std::uint32_t full_ = 0;
-  std::vector<NodeId> active_;     // nodes surviving corner pruning
-  std::vector<NodeId> sink_node_;  // grid node of each sink
-  std::vector<State> states_;
-  util::Arena<BaseEntry> base_arena_;
-  util::Arena<FinalEntry> final_arena_;
-  std::vector<BaseEntry> base_scratch_;    // merge candidates, reused
-  std::vector<FinalEntry> final_scratch_;  // grow candidates, reused
-  pareto::FilterScratch filter_scratch_;
+  DwScratch::Impl& s_;  // reusable storage (arenas, states, scratch rows)
   std::uint64_t created_ = 0;
   std::uint64_t merge_cands_ = 0;  // merge-phase candidates before filtering
   std::uint64_t grow_cands_ = 0;   // grow-phase candidates before filtering
@@ -104,30 +124,30 @@ void Solver::solve_mask(std::uint32_t mask) {
     if (mask & (1u << i)) bb.expand(net_.pins[i + 1]);
 
   // ---- Merge phase (or leaf base case) ----
-  for (NodeId v : active_) {
+  for (NodeId v : s_.active) {
     const Point pv = grid_.point(v);
     if (options_.bbox_restriction && !bb.contains(pv)) continue;
     State& st = state(v, mask);
     if ((mask & (mask - 1)) == 0) {
       const std::size_t i = static_cast<std::size_t>(std::countr_zero(mask));
-      const Length len = grid_.dist(v, sink_node_[i]);
-      const std::uint32_t m = base_arena_.mark();
-      base_arena_.push_back(BaseEntry{Objective{len, len}, 0, -1, -1});
-      st.base = base_arena_.since(m);
+      const Length len = grid_.dist(v, s_.sink_node[i]);
+      const std::uint32_t m = s_.base_arena.mark();
+      s_.base_arena.push_back(BaseEntry{Objective{len, len}, 0, -1, -1});
+      st.base = s_.base_arena.since(m);
       ++created_;
       continue;
     }
-    base_scratch_.clear();
+    s_.base_scratch.clear();
     const std::uint32_t low = mask & (~mask + 1);
     for (std::uint32_t sub = (mask - 1) & mask; sub > 0;
          sub = (sub - 1) & mask) {
       if (!(sub & low)) continue;  // canonical side contains the lowest bit
       const std::uint32_t rest = mask ^ sub;
-      const auto fa = final_arena_.view(state(v, sub).final_);
-      const auto fb = final_arena_.view(state(v, rest).final_);
+      const auto fa = s_.final_arena.view(state(v, sub).final_);
+      const auto fb = s_.final_arena.view(state(v, rest).final_);
       for (std::size_t a = 0; a < fa.size(); ++a) {
         for (std::size_t b = 0; b < fb.size(); ++b) {
-          base_scratch_.push_back(BaseEntry{
+          s_.base_scratch.push_back(BaseEntry{
               Objective{fa[a].obj.w + fb[b].obj.w,
                         std::max(fa[a].obj.d, fb[b].obj.d)},
               sub, static_cast<std::int32_t>(a),
@@ -136,49 +156,49 @@ void Solver::solve_mask(std::uint32_t mask) {
       }
     }
     const auto kept = pareto::filter_indices(
-        base_scratch_.size(),
+        s_.base_scratch.size(),
         [&](std::uint32_t k) -> const Objective& {
-          return base_scratch_[k].obj;
+          return s_.base_scratch[k].obj;
         },
-        filter_scratch_);
-    const std::uint32_t m = base_arena_.mark();
-    for (std::uint32_t k : kept) base_arena_.push_back(base_scratch_[k]);
-    st.base = base_arena_.since(m);
+        s_.filter_scratch);
+    const std::uint32_t m = s_.base_arena.mark();
+    for (std::uint32_t k : kept) s_.base_arena.push_back(s_.base_scratch[k]);
+    st.base = s_.base_arena.since(m);
     created_ += st.base.size();
-    merge_cands_ += base_scratch_.size();
+    merge_cands_ += s_.base_scratch.size();
     kept_ += st.base.size();
   }
 
   // ---- Grow phase: one L1-closure round from every base set ----
-  for (NodeId v : active_) {
+  for (NodeId v : s_.active) {
     State& st = state(v, mask);
-    final_scratch_.clear();
-    const auto own = base_arena_.view(st.base);
+    s_.final_scratch.clear();
+    const auto own = s_.base_arena.view(st.base);
     for (std::size_t i = 0; i < own.size(); ++i)
-      final_scratch_.push_back(FinalEntry{own[i].obj, -1,
+      s_.final_scratch.push_back(FinalEntry{own[i].obj, -1,
                                           static_cast<std::int32_t>(i)});
-    for (NodeId u : active_) {
+    for (NodeId u : s_.active) {
       if (u == v) continue;
-      const auto ub = base_arena_.view(state(u, mask).base);
+      const auto ub = s_.base_arena.view(state(u, mask).base);
       if (ub.empty()) continue;
       const Length len = grid_.dist(u, v);
       for (std::size_t i = 0; i < ub.size(); ++i) {
         const Objective& o = ub[i].obj;
-        final_scratch_.push_back(FinalEntry{Objective{o.w + len, o.d + len},
+        s_.final_scratch.push_back(FinalEntry{Objective{o.w + len, o.d + len},
                                             u, static_cast<std::int32_t>(i)});
       }
     }
     const auto kept = pareto::filter_indices(
-        final_scratch_.size(),
+        s_.final_scratch.size(),
         [&](std::uint32_t k) -> const Objective& {
-          return final_scratch_[k].obj;
+          return s_.final_scratch[k].obj;
         },
-        filter_scratch_);
-    const std::uint32_t m = final_arena_.mark();
-    for (std::uint32_t k : kept) final_arena_.push_back(final_scratch_[k]);
-    st.final_ = final_arena_.since(m);
+        s_.filter_scratch);
+    const std::uint32_t m = s_.final_arena.mark();
+    for (std::uint32_t k : kept) s_.final_arena.push_back(s_.final_scratch[k]);
+    st.final_ = s_.final_arena.since(m);
     created_ += st.final_.size();
-    grow_cands_ += final_scratch_.size();
+    grow_cands_ += s_.final_scratch.size();
     kept_ += st.final_.size();
   }
 }
@@ -187,10 +207,10 @@ void Solver::reconstruct_base(
     NodeId v, std::uint32_t mask, std::int32_t idx,
     std::vector<std::pair<Point, Point>>& edges) const {
   const BaseEntry& e =
-      base_arena_.at(state(v, mask).base, static_cast<std::uint32_t>(idx));
+      s_.base_arena.at(state(v, mask).base, static_cast<std::uint32_t>(idx));
   if (e.sub == 0) {
     const std::size_t i = static_cast<std::size_t>(std::countr_zero(mask));
-    const NodeId s = sink_node_[i];
+    const NodeId s = s_.sink_node[i];
     if (s != v) edges.emplace_back(grid_.point(v), grid_.point(s));
     return;
   }
@@ -202,7 +222,7 @@ void Solver::reconstruct_final(
     NodeId v, std::uint32_t mask, std::int32_t idx,
     std::vector<std::pair<Point, Point>>& edges) const {
   const FinalEntry& e =
-      final_arena_.at(state(v, mask).final_, static_cast<std::uint32_t>(idx));
+      s_.final_arena.at(state(v, mask).final_, static_cast<std::uint32_t>(idx));
   if (e.from < 0) {
     reconstruct_base(v, mask, e.idx, edges);
     return;
@@ -223,20 +243,20 @@ ParetoDwResult Solver::run() {
                              false);
   if (options_.corner_pruning) prunable = grid_.corner_prunable(net_.pins);
   for (NodeId v = 0; v < grid_.num_nodes(); ++v)
-    if (!prunable[static_cast<std::size_t>(v)]) active_.push_back(v);
+    if (!prunable[static_cast<std::size_t>(v)]) s_.active.push_back(v);
 
-  sink_node_.resize(nsinks);
+  s_.sink_node.resize(nsinks);
   for (std::size_t i = 0; i < nsinks; ++i)
-    sink_node_[i] = grid_.node_at(net_.pins[i + 1]);
+    s_.sink_node[i] = grid_.node_at(net_.pins[i + 1]);
 
-  states_.assign(static_cast<std::size_t>(grid_.num_nodes()) * (full_ + 1),
+  s_.states.assign(static_cast<std::size_t>(grid_.num_nodes()) * (full_ + 1),
                  State{});
 
   for (std::uint32_t mask = 1; mask <= full_; ++mask) solve_mask(mask);
 
   const NodeId root = grid_.node_at(net_.pins[0]);
   const State& answer = state(root, full_);
-  const auto answer_final = final_arena_.view(answer.final_);
+  const auto answer_final = s_.final_arena.view(answer.final_);
 
   ParetoDwResult result;
   result.solutions_created = created_;
@@ -268,7 +288,8 @@ ParetoDwResult Solver::run() {
 
 }  // namespace
 
-ParetoDwResult pareto_dw(const Net& net, const ParetoDwOptions& options) {
+ParetoDwResult pareto_dw(const Net& net, const ParetoDwOptions& options,
+                         DwScratch* scratch) {
   if (net.degree() == 1) {
     ParetoDwResult r;
     r.frontier = pareto::SolutionSet::adopt_staircase({Objective{0, 0}});
@@ -278,7 +299,12 @@ ParetoDwResult pareto_dw(const Net& net, const ParetoDwOptions& options) {
     }
     return r;
   }
-  Solver solver(net, options);
+  if (scratch != nullptr) {
+    Solver solver(net, options, scratch->impl());
+    return solver.run();
+  }
+  DwScratch local;
+  Solver solver(net, options, local.impl());
   return solver.run();
 }
 

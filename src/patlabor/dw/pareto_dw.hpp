@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "patlabor/geom/net.hpp"
@@ -24,6 +25,29 @@
 #include "patlabor/tree/routing_tree.hpp"
 
 namespace patlabor::dw {
+
+/// Reusable cross-solve state storage for pareto_dw: the DP state table,
+/// both entry arenas, candidate scratch rows, and the Pareto filter
+/// scratch, kept at grown capacity between solves.  Opaque on purpose (the
+/// entry types are solver-internal).  Typical use is one instance per
+/// worker thread — e.g. par::WorkerContext::current().get<dw::DwScratch>()
+/// — handed to every pareto_dw call on that thread, which removes the
+/// per-solve allocation storm from the batch-routing hot path.  Not
+/// thread-safe: a scratch serves one solve at a time.  Carries capacity
+/// only, never results: solves are bit-identical with or without it.
+class DwScratch {
+ public:
+  DwScratch();
+  ~DwScratch();
+  DwScratch(DwScratch&&) noexcept;
+  DwScratch& operator=(DwScratch&&) noexcept;
+
+  struct Impl;
+  Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
 
 struct ParetoDwOptions {
   bool corner_pruning = true;    ///< Lemma 2
@@ -42,8 +66,11 @@ struct ParetoDwResult {
 };
 
 /// Runs Pareto-DW on a net of degree 2..16 (practical through ~10; the
-/// paper's use case is degree <= 9).
-ParetoDwResult pareto_dw(const geom::Net& net, const ParetoDwOptions& options = {});
+/// paper's use case is degree <= 9).  `scratch` optionally supplies
+/// reusable solver storage (see DwScratch); null solves standalone.
+ParetoDwResult pareto_dw(const geom::Net& net,
+                         const ParetoDwOptions& options = {},
+                         DwScratch* scratch = nullptr);
 
 /// Convenience: frontier only, no tree reconstruction (faster).
 pareto::SolutionSet pareto_frontier(const geom::Net& net);

@@ -36,22 +36,25 @@ std::optional<CacheEntry> FrontierCache::find(
     std::uint64_t key, const std::vector<geom::Point>& pins) {
   if (capacity_ == 0) return std::nullopt;
   Shard& sh = shard_of(key);
-  std::optional<CacheEntry> out;
-  {
-    std::lock_guard<obs::TimedMutex> lock(sh.mu);
-    const auto it = sh.index.find(key);
-    if (it != sh.index.end() && it->second->second.pins == pins) {
-      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
-      out = it->second->second;
+  // Wait-free read path: probe the published snapshot.  The acquire load
+  // pairs with insert's release store, so every node reachable from the
+  // snapshot is fully constructed; nodes are immutable apart from their
+  // recency tick.
+  const std::shared_ptr<const Snapshot> snap =
+      sh.snapshot.load(std::memory_order_acquire);
+  if (snap != nullptr) {
+    const auto it = snap->find(key);
+    if (it != snap->end() && it->second->entry.pins == pins) {
+      it->second->tick.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
+      sh.hits.fetch_add(1, std::memory_order_relaxed);
+      PL_COUNT("engine.cache.hit", 1);
+      return it->second->entry;
     }
-    out ? ++sh.hits : ++sh.misses;
   }
-  if (out) {
-    PL_COUNT("engine.cache.hit", 1);
-  } else {
-    PL_COUNT("engine.cache.miss", 1);
-  }
-  return out;
+  sh.misses.fetch_add(1, std::memory_order_relaxed);
+  PL_COUNT("engine.cache.miss", 1);
+  return std::nullopt;
 }
 
 void FrontierCache::insert(std::uint64_t key, CacheEntry entry) {
@@ -61,22 +64,30 @@ void FrontierCache::insert(std::uint64_t key, CacheEntry entry) {
   std::int64_t delta = 0;
   {
     std::lock_guard<obs::TimedMutex> lock(sh.mu);
-    const auto it = sh.index.find(key);
-    if (it != sh.index.end()) {
-      it->second->second = std::move(entry);
-      sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+    auto node = std::make_shared<Node>(
+        std::move(entry), tick_.fetch_add(1, std::memory_order_relaxed) + 1);
+    const auto it = sh.map.find(key);
+    if (it != sh.map.end()) {
+      it->second = std::move(node);  // refresh: new node, new tick
     } else {
-      sh.lru.emplace_front(key, std::move(entry));
-      sh.index.emplace(key, sh.lru.begin());
+      sh.map.emplace(key, std::move(node));
       ++delta;
-      while (sh.lru.size() > per_shard_) {
-        sh.index.erase(sh.lru.back().first);
-        sh.lru.pop_back();
+      while (sh.map.size() > per_shard_) {
+        auto victim = sh.map.begin();
+        for (auto i = sh.map.begin(); i != sh.map.end(); ++i)
+          if (i->second->tick.load(std::memory_order_relaxed) <
+              victim->second->tick.load(std::memory_order_relaxed))
+            victim = i;
+        sh.map.erase(victim);
         ++evicted;
         --delta;
       }
     }
     sh.evictions += evicted;
+    // Copy-on-write publication; readers holding the old snapshot keep a
+    // consistent (merely stale) view until their shared_ptr drops.
+    sh.snapshot.store(std::make_shared<const Snapshot>(sh.map),
+                      std::memory_order_release);
   }
   if (delta != 0)
     PL_GAUGE_SET("engine.cache.entries",
@@ -91,11 +102,11 @@ CacheStats FrontierCache::stats() const {
   for (const auto& sh : shards_) {
     ShardStats ss;
     ss.lock = sh->mu.stats();
+    ss.hits = sh->hits.load(std::memory_order_relaxed);
+    ss.misses = sh->misses.load(std::memory_order_relaxed);
     {
       std::lock_guard<obs::TimedMutex> lock(sh->mu);
-      ss.entries = sh->lru.size();
-      ss.hits = sh->hits;
-      ss.misses = sh->misses;
+      ss.entries = sh->map.size();
       ss.evictions = sh->evictions;
     }
     s.hits += ss.hits;
@@ -110,8 +121,8 @@ CacheStats FrontierCache::stats() const {
 void FrontierCache::clear() {
   for (const auto& sh : shards_) {
     std::lock_guard<obs::TimedMutex> lock(sh->mu);
-    sh->lru.clear();
-    sh->index.clear();
+    sh->map.clear();
+    sh->snapshot.store(nullptr, std::memory_order_release);
   }
   population_.store(0, std::memory_order_relaxed);
   PL_GAUGE_SET("engine.cache.entries", 0);

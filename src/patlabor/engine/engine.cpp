@@ -75,14 +75,15 @@ RouterContext Engine::context() const {
   return ctx;
 }
 
-core::PatLaborOptions Engine::patlabor_options() const {
+core::PatLaborOptions Engine::patlabor_options(
+    par::ThreadPool* task_pool) const {
   core::PatLaborOptions opt;
   opt.lambda = options_.lambda;
   opt.table = table();
   opt.policy = options_.policy;
   opt.iteration_factor = options_.iteration_factor;
   opt.refine = options_.refine;
-  opt.pool = pool();
+  opt.pool = task_pool;
   return opt;
 }
 
@@ -93,7 +94,8 @@ obs::EventSink* Engine::event_sink() const {
 }
 
 RouteResponse Engine::route_patlabor(const geom::Net& net,
-                                     obs::NetEvent* event) const {
+                                     obs::NetEvent* event,
+                                     par::ThreadPool* task_pool) const {
   // The exact-frontier regime of core::patlabor (see its implementation):
   // below this the frontier is provably exact, a pure function of the pin
   // geometry, and invariant under the canonicalization isometries.
@@ -138,7 +140,7 @@ RouteResponse Engine::route_patlabor(const geom::Net& net,
   // cache is on — this is what makes a later cache hit (which replays the
   // canonical-frame result) bit-identical to a miss.
   const core::PatLaborResult result =
-      core::patlabor(exact ? canon.net : net, patlabor_options());
+      core::patlabor(exact ? canon.net : net, patlabor_options(task_pool));
 
   if (cache_enabled_) {
     CacheEntry entry;
@@ -159,7 +161,8 @@ RouteResponse Engine::route_patlabor(const geom::Net& net,
 
 RouteResponse Engine::route_impl(const geom::Net& net,
                                  const RouteRequest& request,
-                                 obs::NetEvent* event) const {
+                                 obs::NetEvent* event,
+                                 par::ThreadPool* task_pool) const {
   PL_SPAN("engine.route");
   util::Timer wall;
   const double cpu0 = event != nullptr ? util::thread_cpu_seconds() : 0.0;
@@ -167,10 +170,12 @@ RouteResponse Engine::route_impl(const geom::Net& net,
   RouteResponse r;
   // PatLabor takes no sweep parameter; it always runs behind the cache.
   if (method == Method::kPatLabor) {
-    r = route_patlabor(net, event);
+    r = route_patlabor(net, event, task_pool);
   } else {
+    RouterContext ctx = context();
+    ctx.pool = task_pool;
     const std::unique_ptr<Router> router =
-        registry_.make(request.method, context(), request.params);
+        registry_.make(request.method, ctx, request.params);
     std::vector<tree::RoutingTree> trees = router->route(net);
 
     // Pareto-filter the method's output into the uniform frontier shape:
@@ -210,9 +215,9 @@ RouteResponse Engine::route_impl(const geom::Net& net,
 RouteResponse Engine::route(const geom::Net& net,
                             const RouteRequest& request) const {
   obs::EventSink* sink = event_sink();
-  if (sink == nullptr) return route_impl(net, request, nullptr);
+  if (sink == nullptr) return route_impl(net, request, nullptr, pool());
   obs::NetEvent event;
-  RouteResponse r = route_impl(net, request, &event);
+  RouteResponse r = route_impl(net, request, &event, pool());
   sink->emit(event);
   return r;
 }
@@ -220,23 +225,30 @@ RouteResponse Engine::route(const geom::Net& net,
 std::vector<RouteResponse> Engine::route_batch(
     std::span<const geom::Net> nets, const RouteRequest& request) const {
   PL_SPAN("engine.route_batch");
+  // One coarse task per net, sharded across the pool lanes with tail
+  // stealing; a net's nested candidate evaluation runs inline on its
+  // worker (inline_pool), so workers never block on nested batches and a
+  // batch of N nets is exactly N scheduler tasks.
+  par::ThreadPool& nested = par::inline_pool();
   obs::EventSink* sink = event_sink();
   if (sink == nullptr)
-    return par::parallel_transform(
+    return par::parallel_transform_sharded(
         nets.size(),
-        [&](std::size_t i) { return route_impl(nets[i], request, nullptr); },
+        [&](std::size_t i) {
+          return route_impl(nets[i], request, nullptr, &nested);
+        },
         pool());
 
   // Per-worker events stream through an ordered flush so records land in
-  // the file in net order regardless of scheduling.
+  // the file in net order regardless of scheduling (or stealing).
   par::OrderedSink<obs::NetEvent> ordered(
       [sink](obs::NetEvent&& e) { sink->emit(e); });
-  auto out = par::parallel_transform(
+  auto out = par::parallel_transform_sharded(
       nets.size(),
       [&](std::size_t i) {
         obs::NetEvent event;
         event.index = i;
-        RouteResponse r = route_impl(nets[i], request, &event);
+        RouteResponse r = route_impl(nets[i], request, &event, &nested);
         ordered.put(i, std::move(event));
         return r;
       },

@@ -111,7 +111,11 @@ class Engine {
                       const RouteRequest& request = {}) const;
 
   /// Routes every net (in parallel over the engine's pool), results in
-  /// input order, bit-identical for every pool size.
+  /// input order, bit-identical for every pool size.  The batch is sharded
+  /// by net across the pool lanes with work stealing for tail imbalance
+  /// (par::ThreadPool::run_sharded); each net's nested work (candidate
+  /// evaluation) runs inline on its worker, so the scheduler only ever
+  /// sees coarse net-granularity tasks.
   std::vector<RouteResponse> route_batch(std::span<const geom::Net> nets,
                                          const RouteRequest& request = {}) const;
 
@@ -130,11 +134,15 @@ class Engine {
   par::ThreadPool* pool() const;
 
  private:
+  /// `task_pool` is the pool for the net's *intra*-net parallelism
+  /// (candidate evaluation): route() passes the engine pool, route_batch
+  /// passes par::inline_pool() so nested work stays on the owning worker.
   RouteResponse route_impl(const geom::Net& net, const RouteRequest& request,
-                           obs::NetEvent* event) const;
-  RouteResponse route_patlabor(const geom::Net& net,
-                               obs::NetEvent* event) const;
-  core::PatLaborOptions patlabor_options() const;
+                           obs::NetEvent* event,
+                           par::ThreadPool* task_pool) const;
+  RouteResponse route_patlabor(const geom::Net& net, obs::NetEvent* event,
+                               par::ThreadPool* task_pool) const;
+  core::PatLaborOptions patlabor_options(par::ThreadPool* task_pool) const;
   const lut::LookupTable* table() const;
   /// The configured event sink, or nullptr when events are off (always
   /// nullptr — folded away — in PATLABOR_OBS=OFF builds).

@@ -27,12 +27,16 @@
 namespace patlabor::par {
 
 /// Per-lane execution accounting (one lane per worker thread plus one for
-/// the submitting caller).  All zero when the obs runtime is disabled or
-/// instrumentation is compiled out (PATLABOR_OBS=OFF).
+/// the submitting caller).  The timing fields are zero when the obs runtime
+/// is disabled or instrumentation is compiled out (PATLABOR_OBS=OFF);
+/// steals / stolen_tasks are scheduler events, not timings, and are
+/// counted unconditionally.
 struct WorkerStats {
   std::uint64_t tasks = 0;          ///< index-tasks executed on this lane
   std::uint64_t busy_us = 0;        ///< wall time spent inside task fns
   std::uint64_t queue_wait_us = 0;  ///< batch submit -> lane pickup latency
+  std::uint64_t steals = 0;         ///< steal events this lane performed
+  std::uint64_t stolen_tasks = 0;   ///< tasks acquired through those steals
 };
 
 /// Per-lane lock-wait totals of the pool's batch-queue mutex (see
@@ -62,6 +66,18 @@ class ThreadPool {
   /// one with the smallest index wins (deterministic for any pool size).
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Like run_indexed, but indices are pre-sharded into one contiguous
+  /// range per lane instead of claimed from a shared counter.  Each lane
+  /// pops its own range front-to-back; a lane whose range is exhausted
+  /// steals a chunk (half the remainder) from the *tail* of another lane's
+  /// range, so owners and thieves never contend for the same index.  Meant
+  /// for coarse tasks (one net each): the common case is zero shared-state
+  /// traffic per task, with stealing only for tail imbalance.  Every index
+  /// still executes exactly once and exceptions keep the lowest-index-wins
+  /// rule, so the parallel_transform determinism contract carries over
+  /// unchanged.  Requires n < 2^32.
+  void run_sharded(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   // ---- Concurrency observatory (all zero under PATLABOR_OBS=OFF or with
   // the obs runtime disabled; see DESIGN.md §6.2) ----
 
@@ -90,6 +106,8 @@ class ThreadPool {
     std::atomic<std::uint64_t> tasks{0};
     std::atomic<std::uint64_t> busy_us{0};
     std::atomic<std::uint64_t> queue_wait_us{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> stolen_tasks{0};
   };
   /// The calling thread's lane index (its worker lane, or size_-1 for any
   /// non-worker submitter).
@@ -114,6 +132,14 @@ void set_jobs(std::size_t n);
 /// Lazily-constructed process-wide pool of size jobs().
 ThreadPool& global_pool();
 
+/// Process-wide size-1 pool: batches run inline on the calling thread.
+/// Pass it as the task pool of code that is itself already running as a
+/// coarse pool task — nested candidate evaluation then executes in place
+/// on the worker instead of re-entering the scheduler, which is the
+/// difference between 248 fine tasks and one-task-per-net batches.
+/// Safe to share across threads (the inline path only touches atomics).
+ThreadPool& inline_pool();
+
 /// Chunked parallel loop over [0, n): fn(begin, end) per chunk of at most
 /// `grain` indices.  `pool` defaults to the global pool.
 void parallel_for(std::size_t n, std::size_t grain,
@@ -129,6 +155,21 @@ auto parallel_transform(std::size_t n, F&& fn, ThreadPool* pool = nullptr)
   std::vector<R> out(n);
   ThreadPool& p = pool != nullptr ? *pool : global_pool();
   p.run_indexed(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// parallel_transform on run_sharded: identical output (out[i] = fn(i),
+/// merged in index order — bit-identical for any pool size), but indices
+/// are claimed from per-lane ranges with tail stealing.  Use for coarse
+/// tasks where per-task shared-counter traffic and tail imbalance matter.
+template <typename F>
+auto parallel_transform_sharded(std::size_t n, F&& fn,
+                                ThreadPool* pool = nullptr)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  using R = decltype(fn(std::size_t{}));
+  std::vector<R> out(n);
+  ThreadPool& p = pool != nullptr ? *pool : global_pool();
+  p.run_sharded(n, [&](std::size_t i) { out[i] = fn(i); });
   return out;
 }
 

@@ -1,0 +1,92 @@
+// Per-worker execution context: thread-local scratch storage that lets the
+// routing hot path reuse arenas, state pools, and filter buffers across
+// tasks instead of re-allocating them per net.
+//
+// Each pool lane is a thread, so one WorkerContext per thread is one per
+// lane; the context lives as long as the thread (workers die with their
+// pool, the submitting caller's context lives with the process).  The
+// registry is type-erased so par/ needs no knowledge of the client layers:
+// dw/ parks its DwScratch here, pareto/ its FilterScratch, without a
+// dependency from par/ onto either.
+//
+// Determinism: a WorkerContext only carries *capacity* (grown buffers,
+// memoized pool storage), never results.  Clients must leave scratch
+// semantically empty between uses — under that contract, which thread's
+// context served a task cannot influence its output, so scratch reuse is
+// invisible to the parallel_transform determinism contract.  The rng()
+// stream, by the same rule, must never feed task-visible decisions; use
+// par::task_rng(seed, i) for those.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "patlabor/util/rng.hpp"
+
+namespace patlabor::par {
+
+/// Reuse accounting of one worker's context (always counted; the registry
+/// is far off any per-candidate path).
+struct WorkerContextStats {
+  std::uint64_t acquisitions = 0;   ///< get<T>() calls served
+  std::uint64_t constructions = 0;  ///< slots built (first use of a type)
+};
+
+class WorkerContext {
+ public:
+  /// The calling thread's context (created on first use).
+  static WorkerContext& current() {
+    thread_local WorkerContext ctx;
+    return ctx;
+  }
+
+  /// The slot of type T, default-constructed on first request and owned by
+  /// the context from then on.  T must be default-constructible; lookup is
+  /// a short linear scan (a handful of scratch types exist).
+  template <typename T>
+  T& get() {
+    ++stats_.acquisitions;
+    void* const key = type_key<T>();
+    for (const Slot& s : slots_)
+      if (s.key == key) return *static_cast<T*>(s.ptr.get());
+    ++stats_.constructions;
+    slots_.push_back(Slot{key, {new T(), [](void* p) {
+                                  delete static_cast<T*>(p);
+                                }}});
+    return *static_cast<T*>(slots_.back().ptr.get());
+  }
+
+  /// Worker-private RNG for decisions that must not affect task output
+  /// (sampling, backoff); task-visible randomness goes through task_rng.
+  util::Rng& rng() { return rng_; }
+
+  const WorkerContextStats& stats() const { return stats_; }
+
+  /// Destroys every slot (capacity included).  For tests and leak triage;
+  /// the hot path never calls this.
+  void reset() {
+    slots_.clear();
+    stats_ = WorkerContextStats{};
+  }
+
+ private:
+  struct Slot {
+    void* key;
+    std::unique_ptr<void, void (*)(void*)> ptr;
+  };
+
+  /// One static byte per instantiated T gives an RTTI-free type key that
+  /// agrees across translation units.
+  template <typename T>
+  static void* type_key() noexcept {
+    static char tag;
+    return &tag;
+  }
+
+  std::vector<Slot> slots_;
+  util::Rng rng_;
+  WorkerContextStats stats_;
+};
+
+}  // namespace patlabor::par

@@ -88,9 +88,11 @@ class SolutionSet {
 
   /// Pareto-filters candidates, recording each survivor's index into the
   /// input as payload (for gathering parallel arrays; see take_payload).
-  static SolutionSet select(std::span<const Objective> candidates) {
+  /// The scratch form reuses caller-owned buffers (e.g. a worker thread's
+  /// FilterScratch) so selection allocates only the result.
+  static SolutionSet select(std::span<const Objective> candidates,
+                            FilterScratch& scratch) {
     SolutionSet s;
-    FilterScratch scratch;
     const auto kept = filter_indices(
         candidates.size(), [&](std::uint32_t i) -> const Objective& {
           return candidates[i];
@@ -103,6 +105,11 @@ class SolutionSet {
       s.payload_.push_back(i);
     }
     return s;
+  }
+
+  static SolutionSet select(std::span<const Objective> candidates) {
+    FilterScratch scratch;
+    return select(candidates, scratch);
   }
 
   /// Adopts points already in staircase order (debug-asserted).  Producers

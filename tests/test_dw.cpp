@@ -212,5 +212,25 @@ TEST(ParetoDw, FrontierOnlyVariantAgrees) {
   EXPECT_EQ(dw::pareto_frontier(net), dw::pareto_dw(net).frontier);
 }
 
+TEST(DwScratch, ReuseAcrossSolvesIsInvisibleToResults) {
+  // One DwScratch threaded through many solves (the WorkerContext usage in
+  // core/patlabor.cpp) must reproduce the scratch-free results exactly —
+  // the scratch carries capacity, never state.  Interleave degrees so
+  // stale entries from a bigger net precede a smaller one.
+  util::Rng rng(88);
+  dw::DwScratch scratch;
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t degree = 3 + rng.index(6);  // 3..8
+    const Net net = testing::random_net(rng, degree);
+    const auto fresh = dw::pareto_dw(net);
+    const auto reused = dw::pareto_dw(net, {}, &scratch);
+    ASSERT_EQ(reused.frontier, fresh.frontier) << "round " << round;
+    ASSERT_EQ(reused.trees.size(), fresh.trees.size());
+    for (std::size_t i = 0; i < reused.trees.size(); ++i)
+      EXPECT_EQ(reused.trees[i].structural_hash(),
+                fresh.trees[i].structural_hash());
+  }
+}
+
 }  // namespace
 }  // namespace patlabor

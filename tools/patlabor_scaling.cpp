@@ -1,6 +1,8 @@
-// patlabor_scaling — scaling-sweep analyzer and attribution gate.
+// patlabor_scaling — scaling-sweep analyzer, attribution gate and
+// speedup gate.
 //
-//   patlabor_scaling <BENCH_route_batch_scaling.json> [--tol FRAC] [--quiet]
+//   patlabor_scaling <BENCH_route_batch_scaling.json>
+//                    [--tol FRAC] [--min-speedup X] [--quiet]
 //
 // Ingests the jobs-sweep JSON written by `bench_route_batch
 // --scaling-sweep` and answers the question the raw walls cannot: *where*
@@ -16,17 +18,27 @@
 //   Amdahl   S(N) = 1 / (s + (1-s)/N)            (serial fraction s)
 //   USL      S(N) = N / (1 + a(N-1) + kN(N-1))   (contention a, coherency k)
 //
-// The gate is about attribution well-formedness, not speed — a 1-core box
-// legitimately shows no speedup, but the telemetry must still account for
-// the wall it measured:
+// Two gates run over the ingested sweep:
+//
+// Attribution gate (always on) — about well-formedness, not speed; a
+// 1-core box legitimately shows no speedup, but the telemetry must still
+// account for the wall it measured:
 //   * recomputed categories match the recorded ones,
 //   * every category is non-negative,
 //   * |residual| <= max(tol * wall, 10 ms)  (default tol 0.10),
-//   * max worker busy <= batch wall (+tol), batch wall <= wall (+tol).
+//   * max worker busy <= batch wall (+tol), batch wall <= wall (+tol),
+//   * identical_across_jobs is not false (determinism held in the sweep).
+//
+// Speedup gate (enforced only when the JSON records workload "large" AND
+// host_cores >= 4; WAIVED otherwise) — the perf regression bar:
+//   * speedup at jobs=4 >= --min-speedup (default 2.8),
+//   * speedup at jobs=8 >= 95% of speedup at jobs=4 (a wider pool never
+//     regresses; the 5% slack absorbs oversubscription noise on exactly-
+//     4-core hosts).
 //
 // Exit codes (consumed by scripts/verify.sh):
-//   0  attribution well-formed
-//   1  attribution malformed (telemetry lost track of the wall clock)
+//   0  all enforced gates pass
+//   1  attribution malformed or speedup bar missed
 //   2  usage error or unreadable/malformed input
 #include <algorithm>
 #include <cmath>
@@ -62,7 +74,7 @@ struct Point {
 int usage() {
   std::fprintf(stderr,
                "usage: patlabor_scaling <BENCH_route_batch_scaling.json> "
-               "[--tol FRAC] [--quiet]\n");
+               "[--tol FRAC] [--min-speedup X] [--quiet]\n");
   return 2;
 }
 
@@ -163,11 +175,15 @@ std::pair<double, double> fit_usl(const std::vector<double>& n,
 int main(int argc, char** argv) {
   std::string path;
   double tol = 0.10;
+  double min_speedup = 2.8;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
       tol = std::atof(argv[++i]);
       if (!(tol > 0)) return usage();
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+      if (!(min_speedup > 0)) return usage();
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (path.empty() && argv[i][0] != '-') {
@@ -199,10 +215,22 @@ int main(int argc, char** argv) {
 
   const double nets = num_or(*root, "net_count", 0);
   const double overhead = num_or(*root, "obs_overhead_pct", 0);
+  const Value* wv = root->find("workload");
+  // Pre-gate JSONs lack the workload/host_cores fields; they analyze fine
+  // but never arm the speedup gate.
+  const std::string workload =
+      wv != nullptr && wv->is_string() ? wv->str : "";
+  const double host_cores = num_or(*root, "host_cores", 0);
+  const Value* idv = root->find("identical_across_jobs");
+  const bool identical = idv == nullptr ||
+                         idv->kind != Value::Kind::kBool || idv->boolean;
 
   if (!quiet) {
-    std::printf("scaling sweep: %s (%g nets, obs overhead %+.2f%%)\n\n",
-                path.c_str(), nets, overhead);
+    std::printf("scaling sweep: %s (%g nets, workload \"%s\", %g host "
+                "cores, obs overhead %+.2f%%)\n\n",
+                path.c_str(), nets,
+                workload.empty() ? "unknown" : workload.c_str(), host_cores,
+                overhead);
     std::printf("%5s %10s %8s %8s %8s %8s %9s %8s\n", "jobs", "wall(ms)",
                 "serial%", "exec%", "imbal%", "lock%", "resid%", "speedup");
   }
@@ -262,6 +290,44 @@ int main(int argc, char** argv) {
                   100.0 * p.exec_us / wall, 100.0 * p.imbalance_us / wall,
                   100.0 * p.lock_us / wall, 100.0 * p.residual_us / wall,
                   wall1 / wall);
+  }
+
+  if (!identical) {
+    std::printf("FAIL: sweep recorded a determinism violation "
+                "(identical_across_jobs = false)\n");
+    ok = false;
+  }
+
+  // Speedup gate.  Only the calibrated 10k-net workload on a host wide
+  // enough to express the parallelism is held to the bar; anything else
+  // (the 36-net smoke sweep, a 1-2 core CI box) is analyzed but waived.
+  const auto speedup_at = [&](double j) {
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      if (jobs[i] == j) return speedup[i];
+    return -1.0;
+  };
+  const double s4 = speedup_at(4), s8 = speedup_at(8);
+  if (workload == "large" && host_cores >= 4) {
+    if (s4 < min_speedup) {
+      std::printf("FAIL: speedup %.2f at jobs=4 is below the %.2f bar "
+                  "(workload \"large\", %g host cores)\n",
+                  s4, min_speedup, host_cores);
+      ok = false;
+    }
+    if (s8 >= 0 && s4 >= 0 && s8 < 0.95 * s4) {
+      std::printf("FAIL: speedup regresses from %.2f at jobs=4 to %.2f at "
+                  "jobs=8 (allowed slack 5%%)\n",
+                  s4, s8);
+      ok = false;
+    }
+    if (ok && !quiet)
+      std::printf("speedup gate PASS: %.2f at jobs=4 (bar %.2f), %.2f at "
+                  "jobs=8\n",
+                  s4, min_speedup, s8);
+  } else if (!quiet) {
+    std::printf("speedup gate WAIVED: workload \"%s\", %g host cores "
+                "(enforced only for workload \"large\" on >=4-core hosts)\n",
+                workload.empty() ? "unknown" : workload.c_str(), host_cores);
   }
 
   if (!quiet) {
