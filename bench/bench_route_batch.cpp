@@ -124,7 +124,7 @@ SweepPoint run_sweep_point(std::size_t jobs, const lut::LookupTable& table,
   eng.pool()->reset_stats();
 
   const std::uint64_t t0 = obs::now_us();
-  auto results = eng.route_batch(nets, {});
+  auto results = eng.route_batch(nets);
   const std::uint64_t t1 = obs::now_us();
   if (results.size() != nets.size()) std::abort();
   if (results_out != nullptr) *results_out = std::move(results);
@@ -195,7 +195,7 @@ int run_scaling_sweep(bool large) {
     eopt.cache.enabled = true;
     engine::Engine eng(eopt);
     const std::uint64_t t0 = obs::now_us();
-    auto r = eng.route_batch(nets, {});
+    auto r = eng.route_batch(nets);
     const std::uint64_t t1 = obs::now_us();
     if (r.size() != nets.size()) std::abort();
     return t1 - t0;
@@ -357,7 +357,7 @@ int main(int argc, char** argv) {
     eopt.events = events;
     engine::Engine eng(eopt);
     util::Timer timer;
-    auto results = eng.route_batch(nets, {});
+    auto results = eng.route_batch(nets);
     return std::make_pair(std::move(results), timer.seconds());
   };
 

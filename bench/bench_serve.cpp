@@ -1,0 +1,258 @@
+// Service-layer load study: latency distribution and throughput of a
+// patlabord-style in-process serve::Server under open-loop load.
+//
+// An open-loop generator schedules request arrivals by a Poisson process
+// at a fixed offered rate and sends on schedule whether or not earlier
+// requests have completed — so, unlike a closed loop, queueing delay is
+// visible instead of being absorbed by the generator slowing down.  The
+// workload mixes warm requests (a small hot set of net shapes, answered
+// from the frontier cache after first touch) with cold ones (every net
+// unique) in a configurable ratio.
+//
+// The harness first measures closed-loop batch capacity (everything
+// pipelined at once), then sweeps offered load at fractions of that
+// capacity — the overloaded point (1.2x) shows queueing growing without
+// bound, the others the service's useful operating range.  Every reply's
+// frontier is checked against a direct Engine::route of the same net;
+// a mismatch fails the run (exit 1).
+//
+// Output: paper-style ASCII table + BENCH_serve.json with one entry per
+// offered load (offered/achieved rps, p50/p95/p99 latency).
+//
+// Knobs: REPRO_SCALE scales the request count; PATLABOR_SERVE_REQUESTS,
+// PATLABOR_SERVE_WARM_PCT, PATLABOR_SERVE_JOBS override the defaults.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common.hpp"
+#include "patlabor/serve/client.hpp"
+#include "patlabor/serve/server.hpp"
+
+namespace {
+
+using namespace patlabor;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Nearest-rank percentile of a sorted sample.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+struct LoadResult {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  std::size_t mismatches = 0;
+};
+
+/// One open-loop run: `requests[i]` sent at Poisson arrival times of rate
+/// `offered_rps`; latency of a request is measured from its *scheduled*
+/// arrival, so send-side slippage under overload counts as queueing.
+LoadResult run_load(const std::string& socket_path,
+                    const std::vector<geom::Net>& requests,
+                    const std::vector<pareto::SolutionSet>& expected,
+                    double offered_rps, std::uint64_t seed) {
+  serve::Client client(socket_path);
+  util::Rng rng(seed);
+
+  std::vector<double> schedule(requests.size());
+  double t = 0.0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    t += -std::log(1.0 - rng.uniform01()) / offered_rps;
+    schedule[i] = t;
+  }
+
+  // The daemon may answer a request before send_route's return value has
+  // been recorded, so the receiver waits on the map entry, not just on the
+  // reply.  Client supports this exact split (pipelined half-duplex).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::uint64_t, std::size_t> id_to_index;
+  std::vector<double> latencies(requests.size(), 0.0);
+  std::size_t mismatches = 0;
+
+  const Clock::time_point t0 = Clock::now();
+  std::thread receiver([&] {
+    for (std::size_t done = 0; done < requests.size(); ++done) {
+      auto [id, response] = client.read_route_reply();
+      const double now = seconds_since(t0);
+      std::size_t index;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return id_to_index.count(id) != 0; });
+        index = id_to_index.at(id);
+      }
+      latencies[index] = now - schedule[index];
+      if (!(response.frontier == expected[index])) ++mismatches;
+    }
+  });
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    // Open loop: sleep until the scheduled arrival, never later than it
+    // by choice (a late send still counts from the schedule).
+    const double lead = schedule[i] - seconds_since(t0);
+    if (lead > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(lead));
+    const std::uint64_t id = client.send_route(requests[i], {});
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      id_to_index[id] = i;
+    }
+    cv.notify_all();
+  }
+  receiver.join();
+  const double wall = seconds_since(t0);
+
+  std::sort(latencies.begin(), latencies.end());
+  LoadResult r;
+  r.offered_rps = offered_rps;
+  r.achieved_rps = static_cast<double>(requests.size()) / wall;
+  r.p50_ms = percentile(latencies, 50) * 1e3;
+  r.p95_ms = percentile(latencies, 95) * 1e3;
+  r.p99_ms = percentile(latencies, 99) * 1e3;
+  r.mismatches = mismatches;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = [] {
+    const char* v = std::getenv("REPRO_SCALE");
+    return v != nullptr ? std::atof(v) : 1.0;
+  }();
+  const std::size_t n_requests = static_cast<std::size_t>(
+      std::max(1.0, bench::env_int("PATLABOR_SERVE_REQUESTS", 600) * scale));
+  const int warm_pct = bench::env_int("PATLABOR_SERVE_WARM_PCT", 50);
+  const std::size_t jobs =
+      static_cast<std::size_t>(bench::env_int("PATLABOR_SERVE_JOBS", 4));
+
+  const lut::LookupTable table = bench::cached_lut(6);
+
+  // Workload: warm requests draw from a 16-shape hot set (served from the
+  // daemon's frontier cache after a pre-warm pass), cold requests are
+  // unique shapes (always a miss).  Each load point gets its own cold
+  // nets so the daemon's cache state is statistically identical at every
+  // point — without this, later points would inherit earlier points' cache
+  // entries and measure a progressively easier workload.
+  std::printf("[setup] %zu requests/point, %d%% warm, jobs=%zu\n", n_requests,
+              warm_pct, jobs);
+  util::Rng rng(71);
+  std::vector<geom::Net> hot;
+  for (std::size_t i = 0; i < 16; ++i)
+    hot.push_back(netgen::clustered_net(rng, 5 + i % 5));
+  const auto make_requests = [&](const char* prefix) {
+    std::vector<geom::Net> requests;
+    requests.reserve(n_requests);
+    for (std::size_t i = 0; i < n_requests; ++i) {
+      if (static_cast<int>(rng.uniform_int(0, 99)) < warm_pct) {
+        requests.push_back(
+            hot[static_cast<std::size_t>(rng.uniform_int(0, 15))]);
+      } else {
+        requests.push_back(netgen::clustered_net(rng, 5 + i % 5));
+      }
+      requests.back().name = prefix + std::to_string(i);
+    }
+    return requests;
+  };
+
+  serve::ServerOptions options;
+  options.socket_path =
+      "/tmp/pl_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  options.engine.lambda = 9;
+  options.engine.table = &table;
+  options.engine.jobs = jobs;
+  serve::Server server(options);
+
+  // Ground truth comes from a direct engine with the same configuration;
+  // the first load point's list doubles as the closed-loop capacity
+  // calibration (one pipelined batch, timed).
+  engine::EngineOptions eopt = options.engine;
+  const engine::Engine direct(eopt);
+  const auto expected_of = [&](const std::vector<geom::Net>& requests) {
+    std::vector<pareto::SolutionSet> expected;
+    expected.reserve(requests.size());
+    for (const auto& r : direct.route_batch(requests))
+      expected.push_back(r.frontier);
+    return expected;
+  };
+
+  // Pre-warm the daemon's frontier cache with the hot set so the warm
+  // fraction is genuinely warm from the first measured request on.
+  {
+    serve::Client warmer(options.socket_path);
+    for (const auto& net : hot) (void)warmer.route(net, {});
+  }
+
+  const double fractions[] = {0.3, 0.6, 0.9, 1.2};
+  std::vector<std::vector<geom::Net>> point_requests;
+  for (std::size_t p = 0; p < std::size(fractions); ++p)
+    point_requests.push_back(
+        make_requests(("p" + std::to_string(p) + "q").c_str()));
+
+  util::Timer cal;
+  std::vector<pareto::SolutionSet> first_expected =
+      expected_of(point_requests[0]);
+  const double capacity = static_cast<double>(n_requests) / cal.seconds();
+  std::printf("[setup] closed-loop capacity ~%.0f nets/s\n", capacity);
+
+  io::AsciiTable out({"offered rps", "achieved rps", "p50 ms", "p95 ms",
+                      "p99 ms"});
+  bench::BenchJsonWriter json("serve");
+  std::size_t total_mismatches = 0;
+  for (std::size_t p = 0; p < std::size(fractions); ++p) {
+    const double f = fractions[p];
+    const std::vector<geom::Net>& requests = point_requests[p];
+    const std::vector<pareto::SolutionSet> expected =
+        p == 0 ? std::move(first_expected) : expected_of(requests);
+    const double offered = std::max(50.0, capacity * f);
+    const LoadResult r = run_load(options.socket_path, requests, expected,
+                                  offered, 1000 + p);
+    total_mismatches += r.mismatches;
+    char label[32];
+    std::snprintf(label, sizeof label, "load_%.1fx", f);
+    out.add_row({util::fixed(r.offered_rps, 0), util::fixed(r.achieved_rps, 0),
+                 util::fixed(r.p50_ms, 3), util::fixed(r.p95_ms, 3),
+                 util::fixed(r.p99_ms, 3)});
+    json.add_run(label, jobs, 0.0, n_requests,
+                 {{"offered_rps", r.offered_rps},
+                  {"achieved_rps", r.achieved_rps},
+                  {"p50_ms", r.p50_ms},
+                  {"p95_ms", r.p95_ms},
+                  {"p99_ms", r.p99_ms},
+                  {"mismatches", static_cast<double>(r.mismatches)}});
+  }
+  server.stop();
+
+  out.print("Daemon under open-loop Poisson load (" +
+            std::to_string(n_requests) + " requests, " +
+            std::to_string(warm_pct) + "% warm)");
+  json.write();
+  bench::emit_obs_report("serve");
+
+  if (total_mismatches != 0) {
+    std::printf("FAIL: %zu responses differed from direct Engine::route\n",
+                total_mismatches);
+    return 1;
+  }
+  std::printf("All %zu responses matched direct Engine::route across %zu "
+              "load points.\n",
+              n_requests * 4, std::size_t{4});
+  return 0;
+}

@@ -3,16 +3,23 @@
 # jobs sweep -> patlabor_scaling must account for the wall clock AND clear
 # the speedup bar on >=4-core hosts; auto-waived on narrower machines),
 # the obsdiff regression gate (two-run self-compare + perturbed-seed
-# failure path, under PATLABOR_OBS ON and OFF builds), an ASan+UBSan pass
-# over the arena-backed DW solvers and the SolutionSet kernels, then a
-# ThreadSanitizer pass over the parallel execution layer (par/, including
-# the work-stealing scheduler and the pool timeline/TimedMutex
-# instrumentation) and observability (obs/) tests.
+# failure path, under PATLABOR_OBS ON and OFF builds), the daemon smoke
+# gate (patlabord serving two concurrent clients whose CSVs must be
+# byte-identical to a direct patlabor_cli route, then a graceful SIGTERM
+# drain), an ASan+UBSan pass over the arena-backed DW solvers and the
+# SolutionSet kernels, then a ThreadSanitizer pass over the parallel
+# execution layer (par/, including the work-stealing scheduler and the
+# pool timeline/TimedMutex instrumentation), observability (obs/) and
+# service (serve/) tests.
+#
+# Bench artifacts land in $PATLABOR_BENCH_OUT when set (the analyzer reads
+# from the same place), else in build/bench/bench/out as before.
 #
 #   scripts/verify.sh            # everything (10k-net scaling sweep)
 #   scripts/verify.sh --quick    # tier-1 build + ctest + the 36-net smoke
-#                                # sweep and attribution check (no 10k
-#                                # sweep, no sanitizer or obsdiff passes)
+#                                # sweep and attribution check + the daemon
+#                                # smoke gate (no 10k sweep, no sanitizer
+#                                # or obsdiff passes)
 #   scripts/verify.sh --no-tsan  # skip the TSan pass
 #   scripts/verify.sh --no-asan  # skip the ASan pass
 set -euo pipefail
@@ -27,6 +34,56 @@ for arg in "$@"; do
   [[ "$arg" == "--quick" ]] && quick=1
 done
 
+# Honor PATLABOR_BENCH_OUT for both the benches and the analyzer that
+# reads their output; default to the historical build/bench/bench/out
+# (benches run with cwd build/bench and default to bench/out under it).
+bench_out="${PATLABOR_BENCH_OUT:-$PWD/build/bench/bench/out}"
+
+# Daemon smoke gate: patlabord must serve two concurrent clients with
+# answers byte-identical to the direct engine, expose metrics, and drain
+# cleanly on SIGTERM (exit 0, socket unlinked).
+serve_smoke() {
+  echo "== daemon smoke: 2 clients byte-identical to direct + drain =="
+  local dir daemon ca cb rc
+  dir="$(mktemp -d)"
+  ./build/tools/patlabor_cli gen uniform 12 6 "$dir/nets.nets" 7 > /dev/null
+  ./build/tools/patlabor_cli route "$dir/nets.nets" \
+    --csv "$dir/direct.csv" > /dev/null
+  ./build/tools/patlabord "$dir/patlabord.sock" > "$dir/daemon.log" 2>&1 &
+  daemon=$!
+  for _ in $(seq 50); do
+    ./build/tools/patlabor_client "$dir/patlabord.sock" ping \
+      2> /dev/null && break
+    sleep 0.1
+  done
+  ./build/tools/patlabor_client "$dir/patlabord.sock" ping
+  ./build/tools/patlabor_client "$dir/patlabord.sock" route "$dir/nets.nets" \
+    --csv "$dir/a.csv" --tag a > /dev/null &
+  ca=$!
+  ./build/tools/patlabor_client "$dir/patlabord.sock" route "$dir/nets.nets" \
+    --csv "$dir/b.csv" --tag b > /dev/null &
+  cb=$!
+  wait "$ca"
+  wait "$cb"
+  cmp "$dir/a.csv" "$dir/direct.csv"
+  cmp "$dir/b.csv" "$dir/direct.csv"
+  ./build/tools/patlabor_client "$dir/patlabord.sock" metrics \
+    | grep -q '^patlabor_serve_requests'
+  kill -TERM "$daemon"
+  rc=0
+  wait "$daemon" || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "patlabord: expected clean drain exit 0, got $rc"
+    cat "$dir/daemon.log"
+    exit 1
+  fi
+  if [[ -e "$dir/patlabord.sock" ]]; then
+    echo "patlabord: socket not unlinked on shutdown"
+    exit 1
+  fi
+  rm -rf "$dir"
+}
+
 echo "== tier-1: build + ctest (frontier cache on and off) =="
 cmake -B build -S . -G Ninja
 cmake --build build -j
@@ -36,21 +93,25 @@ cmake --build build -j
 if [[ $quick -eq 1 ]]; then
   echo "== scaling smoke: 36-net sweep + attribution analysis =="
   (cd build/bench && REPRO_SCALE="${REPRO_SCALE:-0.5}" \
-    ./bench_route_batch --scaling-sweep)
+    PATLABOR_BENCH_OUT="$bench_out" ./bench_route_batch --scaling-sweep)
   ./build/tools/patlabor_scaling \
-    build/bench/bench/out/BENCH_route_batch_scaling.json
+    "$bench_out/BENCH_route_batch_scaling.json"
+  serve_smoke
   echo "verify: OK (quick)"
   exit 0
 fi
 
+serve_smoke
+
 echo "== engine cache bench: cold/warm/nocache bit-identity =="
-(cd build/bench && REPRO_SCALE="${REPRO_SCALE:-0.5}" ./bench_engine_cache)
+(cd build/bench && REPRO_SCALE="${REPRO_SCALE:-0.5}" \
+  PATLABOR_BENCH_OUT="$bench_out" ./bench_engine_cache)
 
 echo "== scaling gate: 10k-net jobs sweep + attribution + speedup bar =="
 (cd build/bench && REPRO_SCALE="${REPRO_SCALE:-0.5}" \
-  ./bench_route_batch --scaling-sweep --large)
+  PATLABOR_BENCH_OUT="$bench_out" ./bench_route_batch --scaling-sweep --large)
 ./build/tools/patlabor_scaling \
-  build/bench/bench/out/BENCH_route_batch_scaling.json
+  "$bench_out/BENCH_route_batch_scaling.json"
 
 echo "== obsdiff gate: self-compare + perturbed seed (PATLABOR_OBS=ON) =="
 (
@@ -105,10 +166,10 @@ cmake --build build-noobs -j \
 )
 
 if [[ $run_asan -eq 1 ]]; then
-  echo "== ASan+UBSan: dw / lut / pareto (arena + SolutionSet) tests =="
+  echo "== ASan+UBSan: dw / lut / pareto / serve tests =="
   cmake -B build-asan -S . -G Ninja -DPATLABOR_ASAN=ON
   cmake --build build-asan -j \
-    --target test_dw test_lut test_pareto test_core
+    --target test_dw test_lut test_pareto test_core test_serve
   (
     cd build-asan
     export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
@@ -117,15 +178,16 @@ if [[ $run_asan -eq 1 ]]; then
     ./tests/test_dw
     ./tests/test_lut
     ./tests/test_core
+    ./tests/test_serve
   )
 fi
 
 if [[ $run_tsan -eq 1 ]]; then
-  echo "== TSan: par + obs + engine tests =="
+  echo "== TSan: par + obs + engine + serve tests =="
   cmake -B build-tsan -S . -G Ninja -DPATLABOR_TSAN=ON
   cmake --build build-tsan -j \
     --target test_par test_obs test_metrics test_events test_engine \
-    test_cli_trace patlabor_cli patlabor_obsdiff
+    test_serve test_cli_trace patlabor_cli patlabor_obsdiff
   (
     cd build-tsan
     # tsan.supp covers the known relaxed read-unlock inside libstdc++'s
@@ -136,6 +198,7 @@ if [[ $run_tsan -eq 1 ]]; then
     ./tests/test_metrics
     ./tests/test_events
     ./tests/test_engine
+    ./tests/test_serve
     ./tests/test_cli_trace ./tools/patlabor_cli ./tools/patlabor_obsdiff
   )
 fi

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 #include <utility>
 
 #include "patlabor/eval/metrics.hpp"
@@ -191,6 +192,7 @@ RouteResponse Engine::route_impl(const geom::Net& net,
   PL_HIST("engine.route.frontier", r.frontier.size());
   if (event != nullptr) {
     event->net = net.name;
+    event->tag = request.tag;
     event->degree = net.degree();
     event->method = request.method;
     event->cache_hit = r.cache_hit;
@@ -222,8 +224,9 @@ RouteResponse Engine::route(const geom::Net& net,
   return r;
 }
 
-std::vector<RouteResponse> Engine::route_batch(
-    std::span<const geom::Net> nets, const RouteRequest& request) const {
+template <typename RequestAt>
+std::vector<RouteResponse> Engine::route_batch_impl(
+    std::span<const geom::Net> nets, RequestAt&& request_at) const {
   PL_SPAN("engine.route_batch");
   // One coarse task per net, sharded across the pool lanes with tail
   // stealing; a net's nested candidate evaluation runs inline on its
@@ -235,7 +238,7 @@ std::vector<RouteResponse> Engine::route_batch(
     return par::parallel_transform_sharded(
         nets.size(),
         [&](std::size_t i) {
-          return route_impl(nets[i], request, nullptr, &nested);
+          return route_impl(nets[i], request_at(i), nullptr, &nested);
         },
         pool());
 
@@ -248,13 +251,34 @@ std::vector<RouteResponse> Engine::route_batch(
       [&](std::size_t i) {
         obs::NetEvent event;
         event.index = i;
-        RouteResponse r = route_impl(nets[i], request, &event, &nested);
+        RouteResponse r = route_impl(nets[i], request_at(i), &event, &nested);
         ordered.put(i, std::move(event));
         return r;
       },
       pool());
   sink->flush();
   return out;
+}
+
+std::vector<RouteResponse> Engine::route_batch(
+    std::span<const geom::Net> nets, const RouteRequest& request) const {
+  return route_batch_impl(nets,
+                          [&](std::size_t) -> const RouteRequest& {
+                            return request;
+                          });
+}
+
+std::vector<RouteResponse> Engine::route_batch(
+    std::span<const geom::Net> nets,
+    std::span<const RouteRequest> requests) const {
+  if (requests.size() != nets.size())
+    throw std::invalid_argument(
+        "route_batch: " + std::to_string(nets.size()) + " nets but " +
+        std::to_string(requests.size()) + " requests");
+  return route_batch_impl(nets,
+                          [&](std::size_t i) -> const RouteRequest& {
+                            return requests[i];
+                          });
 }
 
 }  // namespace patlabor::engine

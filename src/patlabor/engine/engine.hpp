@@ -79,12 +79,20 @@ struct EngineOptions {
   obs::EventSink* events = nullptr;
 };
 
-/// One routing request.  Defaults to the full PatLabor frontier.
+/// One routing request.  Defaults to the full PatLabor frontier.  This is
+/// also the request half of the service wire schema (serve/proto.hpp): the
+/// daemon decodes frames into this exact struct, so embedding and RPC
+/// serve one schema.
 struct RouteRequest {
   std::string method = "patlabor";
   /// Sweep parameter overrides (alpha / epsilon / beta); empty uses
   /// default_params(method).  Ignored by parameterless methods.
   std::vector<double> params;
+  /// Origin tag threaded into the JSONL event stream (obs::NetEvent::tag):
+  /// the daemon stamps each request with its client's identity so a shared
+  /// event file attributes every record.  Empty = untagged (omitted from
+  /// the record).  Never affects routing.
+  std::string tag;
 };
 
 struct RouteResponse {
@@ -119,6 +127,14 @@ class Engine {
   std::vector<RouteResponse> route_batch(std::span<const geom::Net> nets,
                                          const RouteRequest& request = {}) const;
 
+  /// Heterogeneous batch: one request per net (requests.size() must equal
+  /// nets.size()).  This is the admission-queue shape of the daemon — a
+  /// coalesced batch mixes clients, methods and tags — with the same
+  /// sharded scheduling and determinism contract as the uniform overload.
+  std::vector<RouteResponse> route_batch(
+      std::span<const geom::Net> nets,
+      std::span<const RouteRequest> requests) const;
+
   const MethodRegistry& registry() const { return registry_; }
   /// The context handed to Routers (table resolved, pool attached).
   RouterContext context() const;
@@ -140,6 +156,11 @@ class Engine {
   RouteResponse route_impl(const geom::Net& net, const RouteRequest& request,
                            obs::NetEvent* event,
                            par::ThreadPool* task_pool) const;
+  /// Shared body of both route_batch overloads; `request_at(i)` yields the
+  /// i-th net's request (uniform or per-net).
+  template <typename RequestAt>
+  std::vector<RouteResponse> route_batch_impl(std::span<const geom::Net> nets,
+                                              RequestAt&& request_at) const;
   RouteResponse route_patlabor(const geom::Net& net, obs::NetEvent* event,
                                par::ThreadPool* task_pool) const;
   core::PatLaborOptions patlabor_options(par::ThreadPool* task_pool) const;

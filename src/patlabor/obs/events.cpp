@@ -208,6 +208,11 @@ void EventSink::emit(const NetEvent& e) {
                 e.index == NetEvent::kNoIndex ? emitted_ : e.index);
   line += ',';
   append_kv(line, "net", e.net);
+  if (!e.tag.empty()) {
+    // Optional so untagged (pre-daemon) event files stay byte-identical.
+    line += ',';
+    append_kv(line, "tag", e.tag);
+  }
   line += ',';
   append_kv_int(line, "degree", e.degree);
   {

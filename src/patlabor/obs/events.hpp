@@ -37,6 +37,8 @@ struct NetEvent {
 
   std::size_t index = kNoIndex;
   std::string net;            ///< net name ("" when unnamed)
+  std::string tag;            ///< request origin (daemon client id); ""
+                              ///< = untagged, field omitted from the record
   std::size_t degree = 0;
   std::uint64_t chash = 0;    ///< canonical-form hash (geom::canonicalize)
   std::string method;         ///< registry name ("patlabor", "salt", ...)

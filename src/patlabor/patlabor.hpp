@@ -19,7 +19,6 @@
 #include "patlabor/baselines/salt.hpp"
 #include "patlabor/baselines/sweep.hpp"
 #include "patlabor/baselines/ysd.hpp"
-#include "patlabor/core/batch.hpp"
 #include "patlabor/core/pareto_ks.hpp"
 #include "patlabor/core/patlabor.hpp"
 #include "patlabor/core/policy.hpp"
@@ -53,6 +52,9 @@
 #include "patlabor/rsma/rsma.hpp"
 #include "patlabor/rsmt/mst.hpp"
 #include "patlabor/rsmt/rsmt.hpp"
+#include "patlabor/serve/client.hpp"
+#include "patlabor/serve/proto.hpp"
+#include "patlabor/serve/server.hpp"
 #include "patlabor/timing/elmore.hpp"
 #include "patlabor/tree/refine.hpp"
 #include "patlabor/tree/routing_tree.hpp"

@@ -1,0 +1,160 @@
+// The routing service: a long-lived server accepting concurrent client
+// connections over an AF_UNIX stream socket, speaking the versioned frame
+// protocol of proto.hpp.
+//
+// Architecture (three kinds of threads):
+//
+//   accept thread ──▶ one reader thread per connection ──▶ admission queue
+//                                                              │
+//                                          dispatcher thread ──┘
+//
+//   * readers parse frames and answer control traffic (ping, metrics,
+//     reload-ack, protocol errors) inline; route requests are validated
+//     (method, λ, degree) and pushed onto the admission queue;
+//   * the single dispatcher pops every queued job (up to max_batch),
+//     coalescing requests from *different* clients into one
+//     Engine::route_batch call on the work-stealing pool — so offered
+//     concurrency turns into batch parallelism, not per-request threads —
+//     then writes each response frame back to its client;
+//   * every job carries its client's tag, threaded through the per-net
+//     RouteRequest into the JSONL event stream (obs::NetEvent::tag).
+//
+// Lifecycle: construction binds, listens and starts the threads; the
+// server is serving when the constructor returns.  begin_drain() stops
+// accepting, lets readers consume what clients already sent, answers
+// everything queued, then stops — no accepted request is dropped
+// (patlabord maps SIGTERM onto this).  request_reload() asks the
+// dispatcher to rebuild the engine (and re-load the lookup table from
+// disk) between batches; since the dispatcher is the only routing thread,
+// the swap needs no synchronization with serving (SIGHUP in patlabord).
+//
+// Writes to a connection are serialized by a per-connection mutex (the
+// dispatcher and that connection's reader interleave responses); a write
+// failure marks the connection dead and its remaining responses are
+// counted as errors, never blocking the batch.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "patlabor/engine/engine.hpp"
+#include "patlabor/serve/proto.hpp"
+
+namespace patlabor::obs {
+class EventSink;
+}
+
+namespace patlabor::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the AF_UNIX listening socket.  A stale file at the
+  /// path is removed on bind; the file is unlinked again on shutdown.
+  std::string socket_path;
+  /// Engine configuration (λ, jobs, cache, policy).  `table`/`events` are
+  /// honored like in direct embedding; prefer lut_path for a reloadable
+  /// table.
+  engine::EngineOptions engine;
+  /// Optional lookup table loaded at startup and re-loaded on
+  /// request_reload() (lut::LookupTable::load).  Empty = no table.
+  std::string lut_path;
+  /// Per-frame payload cap; frames above it are refused with
+  /// kOversizePayload and the connection is closed.
+  std::uint32_t max_payload = kDefaultMaxPayload;
+  /// Most nets coalesced into one Engine::route_batch call.
+  std::size_t max_batch = 256;
+};
+
+class Server {
+ public:
+  /// Binds, listens and starts serving; throws std::runtime_error on
+  /// socket errors (path too long, bind failure, ...).
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  /// Stops accepting new connections and begins the graceful drain: data
+  /// clients already sent is still read, queued work is still routed and
+  /// answered.  Idempotent, returns immediately; stop() completes it.
+  void begin_drain();
+
+  /// begin_drain() then join every thread and close every connection.
+  /// After stop() the socket file is gone.  Idempotent.
+  void stop();
+
+  /// Asks the dispatcher to rebuild the engine — re-loading the lookup
+  /// table from lut_path — before the next batch.  Asynchronous; the ack
+  /// means "scheduled".  In-flight responses are unaffected (the swap
+  /// happens between batches on the only routing thread).
+  void request_reload();
+
+  struct Stats {
+    std::uint64_t connections = 0;  ///< accepted over the lifetime
+    std::uint64_t requests = 0;     ///< route requests admitted
+    std::uint64_t responses = 0;    ///< route responses written
+    std::uint64_t errors = 0;       ///< error frames sent + failed writes
+    std::uint64_t batches = 0;      ///< Engine::route_batch calls
+    std::uint64_t reloads = 0;      ///< engine rebuilds completed
+  };
+  Stats stats() const;
+
+ private:
+  struct Conn;
+  struct Job;
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Conn> conn);
+  void dispatch_loop();
+  void dispatch_batch(std::vector<Job>& jobs);
+  void handle_frame(const std::shared_ptr<Conn>& conn,
+                    const FrameHeader& header,
+                    std::span<const std::uint8_t> payload);
+  /// Serialized frame write; on failure marks the connection dead.
+  bool write_frame(Conn& conn, const std::string& bytes);
+  /// Marks the connection dead and closes its fd (serialized against
+  /// in-flight writes).  Idempotent.
+  void close_conn(Conn& conn);
+  void send_error(Conn& conn, std::uint64_t request_id, ErrorCode code,
+                  const std::string& message);
+  std::unique_ptr<engine::Engine> make_engine();
+
+  ServerOptions options_;
+  std::unique_ptr<engine::Engine> engine_;  // dispatcher-owned after start
+
+  int listen_fd_ = -1;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> hard_stop_{false};
+  std::atomic<bool> reload_requested_{false};
+  bool stopped_ = false;  // stop() ran to completion (main-thread only)
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 0;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool dispatcher_stop_ = false;  // set under queue_mu_ once readers joined
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+
+  std::atomic<std::uint64_t> stat_connections_{0};
+  std::atomic<std::uint64_t> stat_requests_{0};
+  std::atomic<std::uint64_t> stat_responses_{0};
+  std::atomic<std::uint64_t> stat_errors_{0};
+  std::atomic<std::uint64_t> stat_batches_{0};
+  std::atomic<std::uint64_t> stat_reloads_{0};
+};
+
+}  // namespace patlabor::serve

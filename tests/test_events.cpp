@@ -74,7 +74,7 @@ std::string route_with_events(const std::vector<geom::Net>& nets,
   eopt.cache.enabled = cache;
   eopt.events = &sink;
   const engine::Engine eng(eopt);
-  eng.route_batch(nets, {});
+  eng.route_batch(nets);
   sink.flush();
   return path;
 }

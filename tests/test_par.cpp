@@ -12,7 +12,6 @@
 
 #include <gtest/gtest.h>
 
-#include "patlabor/core/batch.hpp"
 #include "patlabor/core/patlabor.hpp"
 #include "patlabor/engine/engine.hpp"
 #include "patlabor/lut/lut.hpp"
@@ -391,8 +390,7 @@ TEST(Determinism, LutQueriesAgreeAcrossPoolSizes) {
 
 // Engine-based batch helper for the determinism goldens.  The engine's
 // route_batch runs on the sharded work-stealing scheduler, so these
-// goldens exercise stealing directly; the deprecated core::route_batch
-// shim has its own dedicated test below.
+// goldens exercise stealing directly.
 std::vector<core::PatLaborResult> route_with_jobs(
     const std::vector<geom::Net>& nets, const lut::LookupTable& table,
     std::size_t jobs) {
@@ -487,39 +485,39 @@ TEST(Determinism, EngineCacheOnOffIsIdenticalForAnyJobCountAndRun) {
   }
 }
 
-TEST(Determinism, DeprecatedRouteBatchShimMatchesTheEngine) {
-  // core::route_batch is now a shim over the engine; the golden compare
-  // against the engine API keeps the deprecated surface honest.  The shim
-  // carries a [[deprecated]] warning since PR 7, suppressed here on its
-  // last sanctioned call site.
+TEST(Determinism, PerRequestRouteBatchMatchesUniformBatch) {
+  // The heterogeneous overload (one RouteRequest per net — the daemon's
+  // admission-queue shape) must agree bit-for-bit with the uniform overload
+  // when every per-net request is the same, and must reject a length
+  // mismatch up front.
   const lut::LookupTable table = lut::LookupTable::generate(4);
   std::vector<geom::Net> nets;
   util::Rng rng(13);
   for (std::size_t d : {4u, 9u, 13u}) nets.push_back(netgen::uniform_net(rng, d));
 
-  core::BatchOptions bopt;
-  bopt.route.table = &table;
-  bopt.route.lambda = 7;
-  bopt.jobs = 2;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto shim = core::route_batch(nets, bopt);
-#pragma GCC diagnostic pop
   engine::EngineOptions opt;
   opt.table = &table;
   opt.lambda = 7;
   opt.jobs = 2;
   const engine::Engine eng(opt);
-  const auto direct = eng.route_batch(nets);
-  ASSERT_EQ(shim.size(), direct.size());
+
+  engine::RouteRequest request;
+  request.tag = "t0";  // tags must never affect routing
+  std::vector<engine::RouteRequest> requests(nets.size(), request);
+  const auto uniform = eng.route_batch(nets);
+  const auto per_net = eng.route_batch(nets, requests);
+  ASSERT_EQ(uniform.size(), per_net.size());
   for (std::size_t i = 0; i < nets.size(); ++i) {
-    EXPECT_EQ(shim[i].frontier, direct[i].frontier) << "net " << i;
-    ASSERT_EQ(shim[i].trees.size(), direct[i].trees.size());
-    for (std::size_t t = 0; t < shim[i].trees.size(); ++t)
-      EXPECT_EQ(shim[i].trees[t].structural_hash(),
-                direct[i].trees[t].structural_hash())
+    EXPECT_EQ(uniform[i].frontier, per_net[i].frontier) << "net " << i;
+    ASSERT_EQ(uniform[i].trees.size(), per_net[i].trees.size());
+    for (std::size_t t = 0; t < uniform[i].trees.size(); ++t)
+      EXPECT_EQ(uniform[i].trees[t].structural_hash(),
+                per_net[i].trees[t].structural_hash())
           << "net " << i << " tree " << t;
   }
+
+  requests.pop_back();
+  EXPECT_THROW(eng.route_batch(nets, requests), std::invalid_argument);
 }
 
 TEST(OrderedSink, ReleasesContiguousPrefixInOrder) {

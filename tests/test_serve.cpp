@@ -1,0 +1,574 @@
+// The service layer (src/patlabor/serve/): wire codec roundtrips, framing
+// edge cases (truncation, oversize, version/type mismatches), the daemon
+// contract — byte-identical responses to a direct Engine call, request-id
+// echo under pipelining, concurrent interleaved clients, graceful drain,
+// reload — and per-client tag attribution in the event stream.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "patlabor/engine/engine.hpp"
+#include "patlabor/lut/lut.hpp"
+#include "patlabor/netgen/netgen.hpp"
+#include "patlabor/obs/events.hpp"
+#include "patlabor/serve/client.hpp"
+#include "patlabor/serve/proto.hpp"
+#include "patlabor/serve/server.hpp"
+#include "patlabor/util/rng.hpp"
+
+namespace {
+
+using namespace patlabor;
+
+// ---- shared workload ------------------------------------------------------
+
+const lut::LookupTable& shared_table() {
+  static const lut::LookupTable table = lut::LookupTable::generate(4);
+  return table;
+}
+
+std::vector<geom::Net> make_nets(std::uint64_t seed, std::size_t count) {
+  util::Rng rng(seed);
+  std::vector<geom::Net> nets;
+  const std::size_t degrees[] = {4, 6, 9, 13};
+  for (std::size_t i = 0; i < count; ++i) {
+    geom::Net net = netgen::uniform_net(rng, degrees[i % 4]);
+    net.name = "n" + std::to_string(i);
+    nets.push_back(std::move(net));
+  }
+  return nets;
+}
+
+/// Unique short AF_UNIX path (sun_path is ~108 bytes; keep well under).
+std::string fresh_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/pl_serve_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+serve::ServerOptions base_options() {
+  serve::ServerOptions options;
+  options.socket_path = fresh_socket_path();
+  options.engine.lambda = 7;
+  options.engine.table = &shared_table();
+  options.engine.jobs = 2;
+  return options;
+}
+
+/// Raw byte-level peer for framing edge cases the Client cannot produce.
+class RawConn {
+ public:
+  explicit RawConn(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_all(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t r =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(r, 0);
+      sent += static_cast<std::size_t>(r);
+    }
+  }
+
+  /// Reads exactly n bytes; returns fewer only on EOF.
+  std::vector<std::uint8_t> read_up_to(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd_, out.data() + got, n - got, 0);
+      if (r <= 0) break;
+      got += static_cast<std::size_t>(r);
+    }
+    out.resize(got);
+    return out;
+  }
+
+  /// Reads one well-formed frame; fails the test on a short read.
+  std::pair<serve::FrameHeader, std::vector<std::uint8_t>> read_frame() {
+    auto head = read_up_to(serve::kHeaderSize);
+    EXPECT_EQ(head.size(), serve::kHeaderSize);
+    const serve::FrameHeader header = serve::decode_header(head);
+    auto payload = read_up_to(header.payload_size);
+    EXPECT_EQ(payload.size(), header.payload_size);
+    return {header, payload};
+  }
+
+  bool at_eof() { return read_up_to(1).empty(); }
+
+  void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+ private:
+  int fd_ = -1;
+};
+
+std::span<const std::uint8_t> payload_of(const std::string& frame) {
+  return {reinterpret_cast<const std::uint8_t*>(frame.data()) +
+              serve::kHeaderSize,
+          frame.size() - serve::kHeaderSize};
+}
+
+// ---- wire codec -----------------------------------------------------------
+
+TEST(Proto, HeaderRoundtrip) {
+  serve::FrameHeader h;
+  h.type = serve::FrameType::kRouteRequest;
+  h.request_id = 0x1122334455667788ull;
+  h.payload_size = 41;
+  std::string bytes;
+  serve::encode_header(h, bytes);
+  ASSERT_EQ(bytes.size(), serve::kHeaderSize);
+  const serve::FrameHeader back = serve::decode_header(
+      {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()});
+  EXPECT_EQ(back.magic, serve::kMagic);
+  EXPECT_EQ(back.version, serve::kProtoVersion);
+  EXPECT_EQ(back.type, serve::FrameType::kRouteRequest);
+  EXPECT_EQ(back.request_id, h.request_id);
+  EXPECT_EQ(back.payload_size, 41u);
+}
+
+TEST(Proto, RouteRequestRoundtrip) {
+  serve::WireRouteRequest req;
+  req.net = make_nets(3, 1)[0];
+  req.request.method = "salt";
+  req.request.params = {0.5, 1.25};
+  req.request.tag = "client-a";
+  req.lambda = 7;
+  const std::string frame = serve::encode_route_request(42, req);
+  const serve::FrameHeader header = serve::decode_header(
+      {reinterpret_cast<const std::uint8_t*>(frame.data()),
+       serve::kHeaderSize});
+  EXPECT_EQ(header.type, serve::FrameType::kRouteRequest);
+  EXPECT_EQ(header.request_id, 42u);
+  const serve::WireRouteRequest back =
+      serve::decode_route_request(payload_of(frame));
+  EXPECT_EQ(back.net.name, req.net.name);
+  EXPECT_EQ(back.net.pins, req.net.pins);
+  EXPECT_EQ(back.request.method, "salt");
+  EXPECT_EQ(back.request.params, req.request.params);
+  EXPECT_EQ(back.request.tag, "client-a");
+  EXPECT_EQ(back.lambda, 7u);
+}
+
+TEST(Proto, RouteResponseRoundtripPreservesStaircase) {
+  engine::EngineOptions opt;
+  opt.table = &shared_table();
+  opt.lambda = 7;
+  const engine::Engine eng(opt);
+  const engine::RouteResponse direct = eng.route(make_nets(5, 1)[0]);
+  ASSERT_GT(direct.frontier.size(), 0u);
+
+  const std::string frame = serve::encode_route_response(9, direct, 123);
+  const serve::WireRouteResponse back =
+      serve::decode_route_response(payload_of(frame));
+  EXPECT_EQ(back.frontier, direct.frontier);
+  EXPECT_EQ(back.iterations, direct.iterations);
+  EXPECT_EQ(back.cache_hit, direct.cache_hit);
+  EXPECT_EQ(back.wall_us, 123u);
+}
+
+TEST(Proto, DecodeRejectsNonStaircaseFrontier) {
+  // A dominated second point violates the staircase contract.
+  engine::RouteResponse r;
+  pareto::ObjVec pts;
+  pts.push_back({10, 50});
+  pts.push_back({12, 40});
+  r.frontier = pareto::SolutionSet::adopt_staircase(std::move(pts));
+  std::string frame = serve::encode_route_response(1, r, 0);
+  // Corrupt the second point's delay so it no longer descends (w=12,d=50).
+  // Payload layout: u8 hit, u32 iters, u64 wall, u32 count, then (w,d) i64
+  // pairs — the second pair's d is the last 8 bytes.
+  const std::size_t d2 = frame.size() - 8;
+  frame[d2] = 50;
+  for (std::size_t i = 1; i < 8; ++i) frame[d2 + i] = 0;
+  EXPECT_THROW(serve::decode_route_response(payload_of(frame)),
+               serve::ProtoError);
+}
+
+TEST(Proto, DecodeRejectsTruncatedAndTrailingPayloads) {
+  serve::WireRouteRequest req;
+  req.net = make_nets(7, 1)[0];
+  const std::string frame = serve::encode_route_request(1, req);
+  const auto payload = payload_of(frame);
+  // Every strict prefix must be rejected, never read out of bounds.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
+                                payload.size() / 2, payload.size() - 1})
+    EXPECT_THROW(serve::decode_route_request(payload.first(cut)),
+                 serve::ProtoError)
+        << "prefix of " << cut << " bytes";
+  // Trailing garbage is out of contract too.
+  std::vector<std::uint8_t> padded(payload.begin(), payload.end());
+  padded.push_back(0);
+  EXPECT_THROW(serve::decode_route_request(padded), serve::ProtoError);
+}
+
+TEST(Proto, DecodeRejectsLyingCountField) {
+  serve::WireRouteRequest req;
+  req.net = make_nets(9, 1)[0];
+  std::string frame = serve::encode_route_request(1, req);
+  // The pin count is the u32 right after the net name; bump it far past
+  // the bytes that follow.  (method "patlabor" str, 0 params, "" tag,
+  // lambda, name str, count.)
+  const std::size_t count_at = serve::kHeaderSize + (4 + 8) + 4 + (4 + 0) +
+                               4 + (4 + req.net.name.size());
+  frame[count_at + 3] = 0x7F;  // count |= 0x7F000000
+  EXPECT_THROW(serve::decode_route_request(payload_of(frame)),
+               serve::ProtoError);
+}
+
+TEST(Proto, ErrorAndTextRoundtrip) {
+  const std::string frame =
+      serve::encode_error(77, serve::ErrorCode::kBadRequest, "nope");
+  const serve::WireError err = serve::decode_error(payload_of(frame));
+  EXPECT_EQ(err.code, serve::ErrorCode::kBadRequest);
+  EXPECT_EQ(err.message, "nope");
+
+  const std::string text =
+      serve::encode_text(serve::FrameType::kMetricsResponse, 5, "a\nb");
+  EXPECT_EQ(serve::decode_text(payload_of(text)), "a\nb");
+}
+
+// ---- server: framing edge cases ------------------------------------------
+
+TEST(ServeFraming, TruncatedFrameDropsConnectionWithoutReply) {
+  serve::Server server(base_options());
+  RawConn raw(server.socket_path());
+  std::string junk(10, 'x');  // shorter than a header
+  raw.send_all(junk);
+  raw.shutdown_write();
+  // Nothing to answer: the server closes without writing a frame.
+  EXPECT_TRUE(raw.at_eof());
+  server.stop();
+  EXPECT_GE(server.stats().errors, 1u);
+}
+
+TEST(ServeFraming, OversizePayloadRefusedWithCleanErrorThenClose) {
+  serve::ServerOptions options = base_options();
+  options.max_payload = 1024;
+  serve::Server server(options);
+  RawConn raw(server.socket_path());
+  serve::FrameHeader h;
+  h.type = serve::FrameType::kRouteRequest;
+  h.request_id = 31;
+  h.payload_size = 4096;  // over the cap; body never sent
+  std::string bytes;
+  serve::encode_header(h, bytes);
+  raw.send_all(bytes);
+  auto [header, payload] = raw.read_frame();
+  EXPECT_EQ(header.type, serve::FrameType::kError);
+  EXPECT_EQ(header.request_id, 31u);  // echoed even on refusal
+  EXPECT_EQ(serve::decode_error(payload).code,
+            serve::ErrorCode::kOversizePayload);
+  EXPECT_TRUE(raw.at_eof());
+}
+
+TEST(ServeFraming, UnknownVersionAnsweredWithServersVersionThenClose) {
+  serve::Server server(base_options());
+  RawConn raw(server.socket_path());
+  std::string bytes;
+  serve::encode_header({.request_id = 7}, bytes);
+  bytes[4] = 99;  // version u16 at offset 4
+  bytes[5] = 0;
+  raw.send_all(bytes);
+  auto [header, payload] = raw.read_frame();
+  // The reply frame speaks the server's version — an old client always
+  // learns what the server runs instead of hanging.
+  EXPECT_EQ(header.version, serve::kProtoVersion);
+  EXPECT_EQ(header.type, serve::FrameType::kError);
+  EXPECT_EQ(serve::decode_error(payload).code, serve::ErrorCode::kBadVersion);
+  EXPECT_TRUE(raw.at_eof());
+}
+
+TEST(ServeFraming, UnknownFrameTypeKeepsConnectionServing) {
+  serve::Server server(base_options());
+  RawConn raw(server.socket_path());
+  raw.send_all(serve::encode_empty(static_cast<serve::FrameType>(999), 11));
+  {
+    auto [header, payload] = raw.read_frame();
+    EXPECT_EQ(header.type, serve::FrameType::kError);
+    EXPECT_EQ(header.request_id, 11u);
+    EXPECT_EQ(serve::decode_error(payload).code,
+              serve::ErrorCode::kUnknownType);
+  }
+  // Framing stayed in sync: a ping on the same connection still works.
+  raw.send_all(serve::encode_empty(serve::FrameType::kPing, 12));
+  auto [header, payload] = raw.read_frame();
+  EXPECT_EQ(header.type, serve::FrameType::kPong);
+  EXPECT_EQ(header.request_id, 12u);
+}
+
+TEST(ServeFraming, MalformedPayloadAnsweredPerRequestConnectionSurvives) {
+  serve::Server server(base_options());
+  RawConn raw(server.socket_path());
+  serve::FrameHeader h;
+  h.type = serve::FrameType::kRouteRequest;
+  h.request_id = 21;
+  h.payload_size = 4;
+  std::string bytes;
+  serve::encode_header(h, bytes);
+  bytes += std::string(4, '\xff');  // method length 0xffffffff: over cap
+  raw.send_all(bytes);
+  auto [header, payload] = raw.read_frame();
+  EXPECT_EQ(header.type, serve::FrameType::kError);
+  EXPECT_EQ(header.request_id, 21u);
+  EXPECT_EQ(serve::decode_error(payload).code, serve::ErrorCode::kBadPayload);
+  raw.send_all(serve::encode_empty(serve::FrameType::kPing, 22));
+  EXPECT_EQ(raw.read_frame().first.type, serve::FrameType::kPong);
+}
+
+// ---- server: admission validation ----------------------------------------
+
+TEST(ServeAdmission, BadMethodLambdaMismatchAndDegenerateNetRefused) {
+  serve::Server server(base_options());
+  serve::Client client(server.socket_path());
+  const geom::Net net = make_nets(11, 1)[0];
+
+  engine::RouteRequest bad_method;
+  bad_method.method = "no-such-router";
+  EXPECT_THROW(
+      {
+        try {
+          client.route(net, bad_method);
+        } catch (const serve::ServeError& e) {
+          EXPECT_EQ(e.code, serve::ErrorCode::kBadRequest);
+          throw;
+        }
+      },
+      serve::ServeError);
+
+  serve::WireRouteRequest pinned;
+  pinned.net = net;
+  pinned.lambda = 5;  // server runs 7
+  RawConn raw(server.socket_path());
+  raw.send_all(serve::encode_route_request(2, pinned));
+  EXPECT_EQ(serve::decode_error(raw.read_frame().second).code,
+            serve::ErrorCode::kBadRequest);
+
+  geom::Net degenerate;
+  degenerate.pins = {{0, 0}};
+  EXPECT_THROW(client.route(degenerate, {}), serve::ServeError);
+
+  // The connection survived all three refusals.
+  engine::EngineOptions eopt;
+  eopt.lambda = 7;
+  eopt.table = &shared_table();
+  EXPECT_EQ(client.route(net, {}).frontier,
+            engine::Engine(eopt).route(net).frontier);
+}
+
+// ---- server: the routing contract ----------------------------------------
+
+TEST(Serve, ResponsesByteIdenticalToDirectEngine) {
+  // The acceptance bar: for every net, cache on and off, the daemon's
+  // response payload re-encoded at wall=0 equals the direct Engine
+  // response encoded at wall=0 — byte-level, not just value-level.
+  const std::vector<geom::Net> nets = make_nets(17, 8);
+  for (const bool cache_on : {true, false}) {
+    serve::ServerOptions options = base_options();
+    options.engine.cache.enabled = cache_on;
+    serve::Server server(options);
+    serve::Client client(server.socket_path());
+
+    engine::EngineOptions eopt = options.engine;
+    const engine::Engine direct(eopt);
+
+    for (const geom::Net& net : nets) {
+      const serve::WireRouteResponse remote = client.route(net, {});
+      const engine::RouteResponse local = direct.route(net);
+      engine::RouteResponse remote_as_local;
+      remote_as_local.frontier = remote.frontier;
+      remote_as_local.iterations = remote.iterations;
+      remote_as_local.cache_hit = remote.cache_hit;
+      EXPECT_EQ(serve::encode_route_response(1, remote_as_local, 0),
+                serve::encode_route_response(1, local, 0))
+          << net.name << " cache=" << cache_on;
+    }
+    server.stop();
+  }
+}
+
+TEST(Serve, RequestIdsEchoedUnderPipelining) {
+  serve::Server server(base_options());
+  serve::Client client(server.socket_path());
+  const std::vector<geom::Net> nets = make_nets(23, 12);
+
+  std::vector<std::uint64_t> sent;
+  for (const geom::Net& net : nets) sent.push_back(client.send_route(net, {}));
+  std::vector<std::uint64_t> received;
+  for (std::size_t i = 0; i < nets.size(); ++i)
+    received.push_back(client.read_route_reply().first);
+
+  // Every id comes back exactly once (order may differ: batching).
+  std::sort(sent.begin(), sent.end());
+  std::sort(received.begin(), received.end());
+  EXPECT_EQ(sent, received);
+}
+
+TEST(Serve, ConcurrentInterleavedClientsEachGetTheirOwnAnswers) {
+  serve::Server server(base_options());
+  engine::EngineOptions eopt = base_options().engine;
+  const engine::Engine direct(eopt);
+
+  const std::vector<geom::Net> nets = make_nets(29, 12);
+  std::vector<pareto::SolutionSet> expected;
+  for (const geom::Net& net : nets) expected.push_back(direct.route(net).frontier);
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client(server.socket_path());
+      // Each client pipelines the nets in its own shuffled order, so the
+      // admission queue interleaves all four clients' jobs into shared
+      // batches.
+      std::vector<std::size_t> order(nets.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      util::Rng rng(100 + static_cast<std::uint64_t>(c));
+      for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1],
+                  order[static_cast<std::size_t>(
+                      rng.uniform_int(0, static_cast<std::int64_t>(i) - 1))]);
+
+      std::map<std::uint64_t, std::size_t> id_to_net;
+      for (const std::size_t n : order)
+        id_to_net[client.send_route(nets[n], {})] = n;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        auto [id, response] = client.read_route_reply();
+        const auto it = id_to_net.find(id);
+        if (it == id_to_net.end() ||
+            !(response.frontier == expected[it->second])) {
+          failures.fetch_add(1);
+          continue;
+        }
+        id_to_net.erase(it);
+      }
+      if (!id_to_net.empty()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.stats().requests, nets.size() * kClients);
+  // A client can observe its last reply a beat before the dispatcher
+  // bumps the response counter; give the stat a moment to settle.
+  for (int i = 0; i < 100 && server.stats().responses < nets.size() * kClients;
+       ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server.stats().responses, nets.size() * kClients);
+}
+
+TEST(Serve, DrainAnswersEveryInFlightRequest) {
+  serve::Server server(base_options());
+  serve::Client client(server.socket_path());
+  const std::vector<geom::Net> nets = make_nets(31, 10);
+
+  for (const geom::Net& net : nets) client.send_route(net, {});
+  server.begin_drain();  // races the sends: everything accepted is owed
+  std::size_t answered = 0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    auto [id, response] = client.read_route_reply();
+    EXPECT_GT(response.frontier.size(), 0u);
+    ++answered;
+  }
+  EXPECT_EQ(answered, nets.size());
+  server.stop();
+  EXPECT_EQ(server.stats().responses, nets.size());
+}
+
+TEST(Serve, ReloadSwapsEngineBetweenBatchesWithoutChangingAnswers) {
+  // Reload needs a lut_path (the reloadable configuration).
+  const std::string lut_file =
+      "/tmp/pl_serve_test_lut_" + std::to_string(::getpid()) + ".bin";
+  shared_table().save(lut_file);
+  serve::ServerOptions options = base_options();
+  options.engine.table = nullptr;
+  options.lut_path = lut_file;
+  serve::Server server(options);
+  serve::Client client(server.socket_path());
+
+  const geom::Net net = make_nets(37, 1)[0];
+  const serve::WireRouteResponse before = client.route(net, {});
+  client.reload();
+  // The swap happens between batches on the dispatcher; wait for it.
+  for (int i = 0; i < 200 && server.stats().reloads == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(server.stats().reloads, 1u);
+  const serve::WireRouteResponse after = client.route(net, {});
+  EXPECT_EQ(before.frontier, after.frontier);
+  server.stop();
+  std::remove(lut_file.c_str());
+}
+
+TEST(Serve, PerClientTagsLandInTheEventStream) {
+  const std::string events_file =
+      "/tmp/pl_serve_test_events_" + std::to_string(::getpid()) + ".jsonl";
+  obs::EventSink sink(events_file, {.deterministic = true});
+  serve::ServerOptions options = base_options();
+  options.engine.events = &sink;
+  {
+    serve::Server server(options);
+    const std::vector<geom::Net> nets = make_nets(41, 3);
+    serve::Client alice(server.socket_path());
+    alice.set_tag("alice");
+    serve::Client anon(server.socket_path());
+    for (const geom::Net& net : nets) {
+      alice.route(net, {});
+      anon.route(net, {});
+    }
+    server.stop();
+  }
+  sink.flush();
+
+  std::ifstream in(events_file);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string contents = buf.str();
+  // Explicit client tags pass through; untagged clients are attributed by
+  // connection id.
+  EXPECT_NE(contents.find("\"tag\":\"alice\""), std::string::npos);
+  EXPECT_NE(contents.find("\"tag\":\"c1\""), std::string::npos);
+  std::remove(events_file.c_str());
+}
+
+TEST(Serve, StalePathReboundAndUnlinkedOnStop) {
+  serve::ServerOptions options = base_options();
+  {
+    serve::Server first(options);
+    first.stop();
+  }
+  // A crashed daemon leaves a stale socket file; a new one must rebind.
+  // (stop() unlinks, so recreate the stale file by hand.)
+  {
+    std::ofstream stale(options.socket_path);
+  }
+  serve::Server second(options);
+  serve::Client client(second.socket_path());
+  client.ping();
+  second.stop();
+  EXPECT_NE(::access(options.socket_path.c_str(), F_OK), 0);
+}
+
+}  // namespace

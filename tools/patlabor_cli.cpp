@@ -6,11 +6,17 @@
 //                      [--lut <path>] [--lambda N] [--jobs N] [--no-cache]
 //                      [--csv <out.csv>] [--stats] [--trace <out.json>]
 //                      [--events <out.jsonl>] [--events-deterministic]
-//                      [--metrics-dump <out.prom>]
+//                      [--metrics-dump <out.prom>] [--remote <socket>]
 //   patlabor_cli route --list-methods
 //   patlabor_cli lutgen <max_degree> <out.bin> [--jobs N] [--stats]
 //                       [--trace <out.json>]
 //   patlabor_cli lutinfo <table.bin>
+//
+// route --remote <socket> sends the nets to a running patlabord over its
+// wire protocol instead of routing in-process (serve::Client); frontiers
+// and CSV output are bit-identical to a local run of the same request.
+// Engine configuration flags (--lut/--lambda/--jobs/--no-cache) belong to
+// the daemon in that mode and are rejected here.
 //
 // route serves every request through engine::Engine: --method picks any
 // registered constructor (--list-methods enumerates them), --params
@@ -40,6 +46,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -50,6 +57,7 @@
 #include "patlabor/obs/obs.hpp"
 #include "patlabor/obs/report.hpp"
 #include "patlabor/patlabor.hpp"
+#include "patlabor/serve/client.hpp"
 
 namespace {
 
@@ -69,7 +77,8 @@ int usage() {
       "  patlabor_cli route <in.nets> [--method <name>] [--params a,b,...] "
       "[--lut <path>] [--lambda N] [--jobs N] [--no-cache] [--csv <out.csv>] "
       "[--stats] [--trace <out.json>] [--events <out.jsonl>] "
-      "[--events-deterministic] [--metrics-dump <out.prom>]\n"
+      "[--events-deterministic] [--metrics-dump <out.prom>] "
+      "[--remote <socket>]\n"
       "  patlabor_cli route --list-methods\n"
       "  patlabor_cli lutgen <max_degree> <out.bin> [--jobs N] [--stats] "
       "[--trace <out.json>]\n"
@@ -224,6 +233,59 @@ int list_methods() {
   return 0;
 }
 
+/// route --remote: the same request served by a running patlabord over the
+/// wire protocol.  Requests are pipelined (the daemon batches them with
+/// other clients'), replies matched by request id, output printed in net
+/// order — frontiers and CSV rows come out bit-identical to a local run.
+int route_remote(const std::string& socket_path, const std::string& in,
+                 const engine::RouteRequest& request,
+                 const std::string& csv_path) {
+  serve::Client client(socket_path);
+  const std::vector<geom::Net> nets = io::read_nets(in);
+  util::Timer timer;
+
+  std::map<std::uint64_t, std::size_t> id_to_index;
+  for (std::size_t n = 0; n < nets.size(); ++n)
+    id_to_index[client.send_route(nets[n], request)] = n;
+  std::vector<serve::WireRouteResponse> responses(nets.size());
+  for (std::size_t pending = nets.size(); pending > 0; --pending) {
+    auto [id, response] = client.read_route_reply();
+    const auto it = id_to_index.find(id);
+    if (it == id_to_index.end())
+      throw std::runtime_error("daemon answered unknown request id " +
+                               std::to_string(id));
+    responses[it->second] = std::move(response);
+    id_to_index.erase(it);
+  }
+
+  std::unique_ptr<io::CsvWriter> csv;
+  if (!csv_path.empty())
+    csv = std::make_unique<io::CsvWriter>(
+        csv_path,
+        std::vector<std::string>{"net", "degree", "wirelength", "delay"});
+  std::size_t points = 0;
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    const geom::Net& net = nets[n];
+    const auto& r = responses[n];
+    std::printf("%s (degree %zu): %zu frontier points\n",
+                net.name.empty() ? "<net>" : net.name.c_str(), net.degree(),
+                r.frontier.size());
+    for (const auto& s : r.frontier) {
+      std::printf("  w=%lld d=%lld\n", static_cast<long long>(s.w),
+                  static_cast<long long>(s.d));
+      if (csv) csv->row({net.name, std::to_string(net.degree()),
+                         io::CsvWriter::num(static_cast<long long>(s.w)),
+                         io::CsvWriter::num(static_cast<long long>(s.d))});
+      ++points;
+    }
+  }
+  std::printf("routed %zu nets (%zu frontier points) in %s via %s\n",
+              nets.size(), points,
+              util::format_duration(timer.seconds()).c_str(),
+              socket_path.c_str());
+  return 0;
+}
+
 int cmd_route(int argc, char** argv) {
   // --list-methods anywhere on the line answers without routing.
   for (int i = 2; i < argc; ++i)
@@ -231,6 +293,7 @@ int cmd_route(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string in = argv[2];
   std::string lut_path, csv_path, trace_path, events_path, metrics_path;
+  std::string remote_socket;
   engine::RouteRequest request;
   bool stats = false;
   bool no_cache = false;
@@ -271,12 +334,24 @@ int cmd_route(int argc, char** argv) {
       events_deterministic = true;
     } else if (std::strcmp(argv[i], "--metrics-dump") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--remote") == 0 && i + 1 < argc) {
+      remote_socket = argv[++i];
     } else {
       return usage();
     }
   }
   if (events_deterministic && events_path.empty())
     throw CliError("--events-deterministic requires --events <out.jsonl>");
+  if (!remote_socket.empty()) {
+    // Engine configuration belongs to the daemon; accepting these locally
+    // would silently answer under a different config than requested.
+    if (!lut_path.empty() || no_cache || lambda != 9 || jobs != 0 ||
+        !events_path.empty())
+      throw CliError(
+          "--remote is incompatible with --lut/--lambda/--jobs/--no-cache/"
+          "--events (configure the daemon instead)");
+    return route_remote(remote_socket, in, request, csv_path);
+  }
 
   ObsSession obs_session(stats, trace_path, metrics_path);
   util::Timer timer;
