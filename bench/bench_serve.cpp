@@ -17,7 +17,12 @@
 // a mismatch fails the run (exit 1).
 //
 // Output: paper-style ASCII table + BENCH_serve.json with one entry per
-// offered load (offered/achieved rps, p50/p95/p99 latency).
+// offered load (offered/achieved rps, p50/p95/p99 latency, and the
+// server-side per-request breakdown: mean queue wait vs route vs write,
+// from the serve.* stage histograms).  Each load point also streams the
+// daemon's deterministic JSONL event file (serve_events_<label>.jsonl in
+// the bench out dir) via the server's between-batches event-sink swap —
+// the same artifact the obsdiff-over-daemon CI gate diffs.
 //
 // Knobs: REPRO_SCALE scales the request count; PATLABOR_SERVE_REQUESTS,
 // PATLABOR_SERVE_WARM_PCT, PATLABOR_SERVE_JOBS override the defaults.
@@ -28,12 +33,16 @@
 #include <cstdio>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unistd.h>
 #include <vector>
 
 #include "common.hpp"
+#include "patlabor/obs/events.hpp"
+#include "patlabor/obs/obs.hpp"
+#include "patlabor/obs/stats.hpp"
 #include "patlabor/serve/client.hpp"
 #include "patlabor/serve/server.hpp"
 
@@ -60,6 +69,33 @@ struct LoadResult {
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
   std::size_t mismatches = 0;
 };
+
+/// Running (sum, count) of one serve.* stage histogram; the delta across a
+/// load point divided by its request count is the server-side mean stage
+/// latency for that point.  Zeros under PATLABOR_OBS=OFF.
+struct StageTotals {
+  std::uint64_t queue_wait_sum = 0, route_sum = 0, write_sum = 0;
+  std::uint64_t count = 0;
+};
+
+StageTotals stage_totals() {
+  StageTotals t;
+  if constexpr (obs::compiled_in()) {
+    obs::StatsRegistry& reg = obs::StatsRegistry::instance();
+    const auto qw = reg.histogram("serve.queue_wait_us").summary();
+    t.queue_wait_sum = qw.sum;
+    t.route_sum = reg.histogram("serve.route_us").summary().sum;
+    t.write_sum = reg.histogram("serve.write_us").summary().sum;
+    t.count = qw.count;
+  }
+  return t;
+}
+
+double mean_ms(std::uint64_t sum_us, std::uint64_t count) {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum_us) /
+                          static_cast<double>(count) * 1e-3;
+}
 
 /// One open-loop run: `requests[i]` sent at Poisson arrival times of rate
 /// `offered_rps`; latency of a request is measured from its *scheduled*
@@ -143,6 +179,12 @@ int main() {
   const std::size_t jobs =
       static_cast<std::size_t>(bench::env_int("PATLABOR_SERVE_JOBS", 4));
 
+  // The server-side breakdown columns come from the serve.* stage
+  // histograms, so this harness always records (not only under
+  // PATLABOR_OBS): a service bench without the service telemetry would
+  // measure a configuration nobody deploys.
+  obs::set_enabled(true);
+
   const lut::LookupTable table = bench::cached_lut(6);
 
   // Workload: warm requests draw from a 16-shape hot set (served from the
@@ -213,32 +255,59 @@ int main() {
   std::printf("[setup] closed-loop capacity ~%.0f nets/s\n", capacity);
 
   io::AsciiTable out({"offered rps", "achieved rps", "p50 ms", "p95 ms",
-                      "p99 ms"});
+                      "p99 ms", "q-wait ms", "route ms", "write ms"});
   bench::BenchJsonWriter json("serve");
   std::size_t total_mismatches = 0;
+  // Per-point deterministic event streams (outlive the server: the
+  // dispatcher may hold the last sink pointer until stop()).
+  std::vector<std::unique_ptr<obs::EventSink>> sinks;
   for (std::size_t p = 0; p < std::size(fractions); ++p) {
     const double f = fractions[p];
     const std::vector<geom::Net>& requests = point_requests[p];
     const std::vector<pareto::SolutionSet> expected =
         p == 0 ? std::move(first_expected) : expected_of(requests);
     const double offered = std::max(50.0, capacity * f);
-    const LoadResult r = run_load(options.socket_path, requests, expected,
-                                  offered, 1000 + p);
-    total_mismatches += r.mismatches;
     char label[32];
     std::snprintf(label, sizeof label, "load_%.1fx", f);
+    if (obs::compiled_in()) {
+      obs::EventSink::Options sopt;
+      sopt.deterministic = true;
+      sinks.push_back(std::make_unique<obs::EventSink>(
+          bench::out_path("serve_events_" + std::string(label) + ".jsonl"),
+          sopt));
+      // Applied between batches; the daemon is idle here, so the swap is
+      // in place before this point's first request is admitted.
+      server.request_event_sink(sinks.back().get());
+    }
+    const StageTotals before = stage_totals();
+    const LoadResult r = run_load(options.socket_path, requests, expected,
+                                  offered, 1000 + p);
+    const StageTotals after = stage_totals();
+    const std::uint64_t served = after.count - before.count;
+    const double qw_ms = mean_ms(after.queue_wait_sum - before.queue_wait_sum,
+                                 served);
+    const double route_ms = mean_ms(after.route_sum - before.route_sum,
+                                    served);
+    const double write_ms = mean_ms(after.write_sum - before.write_sum,
+                                    served);
+    total_mismatches += r.mismatches;
     out.add_row({util::fixed(r.offered_rps, 0), util::fixed(r.achieved_rps, 0),
                  util::fixed(r.p50_ms, 3), util::fixed(r.p95_ms, 3),
-                 util::fixed(r.p99_ms, 3)});
+                 util::fixed(r.p99_ms, 3), util::fixed(qw_ms, 3),
+                 util::fixed(route_ms, 3), util::fixed(write_ms, 3)});
     json.add_run(label, jobs, 0.0, n_requests,
                  {{"offered_rps", r.offered_rps},
                   {"achieved_rps", r.achieved_rps},
                   {"p50_ms", r.p50_ms},
                   {"p95_ms", r.p95_ms},
                   {"p99_ms", r.p99_ms},
+                  {"queue_wait_ms", qw_ms},
+                  {"route_ms", route_ms},
+                  {"write_ms", write_ms},
                   {"mismatches", static_cast<double>(r.mismatches)}});
   }
   server.stop();
+  sinks.clear();  // all batches emitted and flushed by now
 
   out.print("Daemon under open-loop Poisson load (" +
             std::to_string(n_requests) + " requests, " +

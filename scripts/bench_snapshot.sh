@@ -41,6 +41,14 @@ for f in "$src"/BENCH_*.json; do
   n=$((n + 1))
 done
 
+# The serve bench (latency/throughput + queue-wait/route/write breakdown)
+# is part of the standard suite; flag a snapshot taken without it so a
+# missing service trajectory is visible rather than silent.
+if [[ ! -e "$dest/BENCH_serve.json" ]]; then
+  echo "bench_snapshot: note — BENCH_serve.json not in $src;" \
+       "run bench/bench_serve to include the service-latency trajectory" >&2
+fi
+
 # Host context for reading the numbers later: scaling snapshots from a
 # 1-2 core box legitimately show no speedup (the patlabor_scaling speedup
 # gate auto-waives below 4 cores), so the core count must travel with the

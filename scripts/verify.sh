@@ -3,14 +3,18 @@
 # jobs sweep -> patlabor_scaling must account for the wall clock AND clear
 # the speedup bar on >=4-core hosts; auto-waived on narrower machines),
 # the obsdiff regression gate (two-run self-compare + perturbed-seed
-# failure path, under PATLABOR_OBS ON and OFF builds), the daemon smoke
-# gate (patlabord serving two concurrent clients whose CSVs must be
-# byte-identical to a direct patlabor_cli route, then a graceful SIGTERM
-# drain), an ASan+UBSan pass over the arena-backed DW solvers and the
-# SolutionSet kernels, then a ThreadSanitizer pass over the parallel
-# execution layer (par/, including the work-stealing scheduler and the
-# pool timeline/TimedMutex instrumentation), observability (obs/) and
-# service (serve/) tests.
+# failure path, under PATLABOR_OBS ON and OFF builds), the metric-catalog
+# lint (every registered metric name documented in DESIGN.md §6.2), the
+# daemon smoke gate (patlabord serving two concurrent clients whose CSVs
+# must be byte-identical to a direct patlabor_cli route, nonzero serve.*
+# metrics, the stats wire frame, a SIGQUIT flight-recorder dump, then a
+# graceful SIGTERM drain), the obsdiff-over-daemon gate (daemon event
+# stream quality-identical to a direct engine run; a weaker-method
+# perturbation must trip it), an ASan+UBSan pass over the arena-backed DW
+# solvers and the SolutionSet kernels, then a ThreadSanitizer pass over
+# the parallel execution layer (par/, including the work-stealing
+# scheduler and the pool timeline/TimedMutex instrumentation),
+# observability (obs/) and service (serve/) tests.
 #
 # Bench artifacts land in $PATLABOR_BENCH_OUT when set (the analyzer reads
 # from the same place), else in build/bench/bench/out as before.
@@ -18,8 +22,9 @@
 #   scripts/verify.sh            # everything (10k-net scaling sweep)
 #   scripts/verify.sh --quick    # tier-1 build + ctest + the 36-net smoke
 #                                # sweep and attribution check + the daemon
-#                                # smoke gate (no 10k sweep, no sanitizer
-#                                # or obsdiff passes)
+#                                # smoke and obsdiff-over-daemon gates (no
+#                                # 10k sweep, no sanitizer passes, no
+#                                # CLI-level obsdiff / OBS=OFF builds)
 #   scripts/verify.sh --no-tsan  # skip the TSan pass
 #   scripts/verify.sh --no-asan  # skip the ASan pass
 set -euo pipefail
@@ -40,11 +45,13 @@ done
 bench_out="${PATLABOR_BENCH_OUT:-$PWD/build/bench/bench/out}"
 
 # Daemon smoke gate: patlabord must serve two concurrent clients with
-# answers byte-identical to the direct engine, expose metrics, and drain
-# cleanly on SIGTERM (exit 0, socket unlinked).
+# answers byte-identical to the direct engine, count them in the serve.*
+# metrics (nonzero serve.requests), answer the stats frame with per-client
+# attribution, dump its flight recorder on SIGQUIT (and keep serving),
+# and drain cleanly on SIGTERM (exit 0, socket unlinked).
 serve_smoke() {
-  echo "== daemon smoke: 2 clients byte-identical to direct + drain =="
-  local dir daemon ca cb rc
+  echo "== daemon smoke: 2 clients byte-identical to direct + introspection + drain =="
+  local dir daemon ca cb rc flight
   dir="$(mktemp -d)"
   ./build/tools/patlabor_cli gen uniform 12 6 "$dir/nets.nets" 7 > /dev/null
   ./build/tools/patlabor_cli route "$dir/nets.nets" \
@@ -67,8 +74,43 @@ serve_smoke() {
   wait "$cb"
   cmp "$dir/a.csv" "$dir/direct.csv"
   cmp "$dir/b.csv" "$dir/direct.csv"
+  # The exposition must carry a *nonzero* request count, not just the name.
   ./build/tools/patlabor_client "$dir/patlabord.sock" metrics \
-    | grep -q '^patlabor_serve_requests'
+    > "$dir/metrics.prom"
+  awk '$1 == "patlabor_serve_requests" { v = $2 }
+       END { exit (v > 0) ? 0 : 1 }' "$dir/metrics.prom" || {
+    echo "patlabord: metrics report no serve.requests"
+    cat "$dir/metrics.prom"
+    exit 1
+  }
+  # The stats wire frame attributes both clients' 12 requests each.
+  ./build/tools/patlabor_client "$dir/patlabord.sock" stats > "$dir/stats.txt"
+  grep -q ' requests=24 ' "$dir/stats.txt"
+  grep -qE '^  client a +requests=12 ' "$dir/stats.txt"
+  grep -qE '^  client b +requests=12 ' "$dir/stats.txt"
+  # SIGQUIT dumps the flight recorder — all 24 requests completed — and the
+  # daemon keeps serving.  (Re-signal while polling: the last trace can
+  # complete a beat after the clients read their replies.)
+  flight="$dir/patlabord.sock.flight.jsonl"
+  for _ in $(seq 50); do
+    kill -QUIT "$daemon"
+    sleep 0.1
+    [[ "$(grep -c '"in_flight":false' "$flight" 2> /dev/null || true)" \
+       -eq 24 ]] && break
+  done
+  if [[ "$(grep -c '"in_flight":false' "$flight" 2> /dev/null || true)" \
+       -ne 24 ]]; then
+    echo "patlabord: flight dump missing completed requests"
+    cat "$dir/daemon.log"
+    exit 1
+  fi
+  # Every line parses as one complete request object; nothing was in flight.
+  if [[ "$(grep -cv '^{"type":"request",.*}$' "$flight" || true)" -ne 0 ]]; then
+    echo "patlabord: flight dump is not request-trace JSONL"
+    cat "$flight"
+    exit 1
+  fi
+  ./build/tools/patlabor_client "$dir/patlabord.sock" ping
   kill -TERM "$daemon"
   rc=0
   wait "$daemon" || rc=$?
@@ -84,6 +126,71 @@ serve_smoke() {
   rm -rf "$dir"
 }
 
+# Obsdiff-over-daemon gate: the daemon's deterministic event stream must be
+# quality-identical to a direct engine run of the same netlist (byte-equal
+# modulo the per-client tag field), and a seeded quality perturbation —
+# the same nets routed by the weaker weighted-sum baseline — must trip the
+# hypervolume gate (exit 1).
+serve_obsdiff() {
+  echo "== obsdiff-over-daemon: daemon events vs direct engine + perturbation =="
+  local dir daemon rc
+  dir="$(mktemp -d)"
+  ./build/tools/patlabor_cli gen uniform 12 6 "$dir/nets.nets" 7 > /dev/null
+  ./build/tools/patlabor_cli route "$dir/nets.nets" \
+    --events "$dir/direct.jsonl" --events-deterministic > /dev/null
+  ./build/tools/patlabord "$dir/d.sock" \
+    --events "$dir/daemon.jsonl" --events-deterministic \
+    > "$dir/daemon.log" 2>&1 &
+  daemon=$!
+  for _ in $(seq 50); do
+    ./build/tools/patlabor_client "$dir/d.sock" ping 2> /dev/null && break
+    sleep 0.1
+  done
+  ./build/tools/patlabor_client "$dir/d.sock" route "$dir/nets.nets" \
+    > /dev/null
+  kill -TERM "$daemon"
+  rc=0
+  wait "$daemon" || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "patlabord: expected clean drain exit 0, got $rc"
+    cat "$dir/daemon.log"
+    exit 1
+  fi
+  # Quality-identical: every canonical hash joins, zero hv delta.
+  ./build/tools/patlabor_obsdiff "$dir/direct.jsonl" "$dir/daemon.jsonl"
+  # Stronger: the daemon's net records are byte-identical to the direct
+  # run's once the client tag is stripped (manifests name different tools).
+  grep '"type":"net"' "$dir/direct.jsonl" > "$dir/direct_nets.jsonl"
+  grep '"type":"net"' "$dir/daemon.jsonl" \
+    | sed 's/,"tag":"[^"]*"//' > "$dir/daemon_nets.jsonl"
+  cmp "$dir/direct_nets.jsonl" "$dir/daemon_nets.jsonl"
+  # Perturbation: same nets through a fresh daemon via the weighted-sum
+  # baseline; hashes join, hypervolume shrinks, the gate must exit 1.
+  ./build/tools/patlabord "$dir/d2.sock" \
+    --events "$dir/perturbed.jsonl" --events-deterministic \
+    > "$dir/daemon2.log" 2>&1 &
+  daemon=$!
+  for _ in $(seq 50); do
+    ./build/tools/patlabor_client "$dir/d2.sock" ping 2> /dev/null && break
+    sleep 0.1
+  done
+  ./build/tools/patlabor_client "$dir/d2.sock" route "$dir/nets.nets" \
+    --method ysd > /dev/null
+  kill -TERM "$daemon"
+  wait "$daemon" || true
+  rc=0
+  ./build/tools/patlabor_obsdiff --quiet "$dir/direct.jsonl" \
+    "$dir/perturbed.jsonl" || rc=$?
+  if [[ $rc -ne 1 ]]; then
+    echo "obsdiff: expected exit 1 on a quality-perturbed daemon run, got $rc"
+    exit 1
+  fi
+  rm -rf "$dir"
+}
+
+echo "== metric catalog lint: registered names documented in DESIGN.md =="
+scripts/check_metric_catalog.sh
+
 echo "== tier-1: build + ctest (frontier cache on and off) =="
 cmake -B build -S . -G Ninja
 cmake --build build -j
@@ -97,11 +204,13 @@ if [[ $quick -eq 1 ]]; then
   ./build/tools/patlabor_scaling \
     "$bench_out/BENCH_route_batch_scaling.json"
   serve_smoke
+  serve_obsdiff
   echo "verify: OK (quick)"
   exit 0
 fi
 
 serve_smoke
+serve_obsdiff
 
 echo "== engine cache bench: cold/warm/nocache bit-identity =="
 (cd build/bench && REPRO_SCALE="${REPRO_SCALE:-0.5}" \

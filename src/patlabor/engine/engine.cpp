@@ -281,4 +281,31 @@ std::vector<RouteResponse> Engine::route_batch(
                           });
 }
 
+std::vector<RouteResponse> Engine::route_batch_collect(
+    std::span<const geom::Net> nets, std::span<const RouteRequest> requests,
+    std::vector<obs::NetEvent>& events_out) const {
+  if (requests.size() != nets.size())
+    throw std::invalid_argument(
+        "route_batch_collect: " + std::to_string(nets.size()) + " nets but " +
+        std::to_string(requests.size()) + " requests");
+  events_out.clear();
+  if (!obs::compiled_in()) {
+    return route_batch_impl(nets, [&](std::size_t i) -> const RouteRequest& {
+      return requests[i];
+    });
+  }
+  // Pre-sized so workers write disjoint slots — no ordered funnel needed;
+  // the caller owns emission order.
+  PL_SPAN("engine.route_batch");
+  events_out.resize(nets.size());
+  par::ThreadPool& nested = par::inline_pool();
+  return par::parallel_transform_sharded(
+      nets.size(),
+      [&](std::size_t i) {
+        events_out[i].index = i;
+        return route_impl(nets[i], requests[i], &events_out[i], &nested);
+      },
+      pool());
+}
+
 }  // namespace patlabor::engine

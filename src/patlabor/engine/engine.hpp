@@ -135,6 +135,16 @@ class Engine {
       std::span<const geom::Net> nets,
       std::span<const RouteRequest> requests) const;
 
+  /// Heterogeneous batch that *collects* per-net events instead of
+  /// emitting them: `events_out` comes back sized nets.size(), indexed by
+  /// batch position, ready for the caller to complete (the daemon stamps
+  /// service-lifecycle fields) and emit itself.  EngineOptions::events is
+  /// not consulted — nothing is emitted here.  Under PATLABOR_OBS=OFF the
+  /// vector comes back empty and no event work is done.
+  std::vector<RouteResponse> route_batch_collect(
+      std::span<const geom::Net> nets, std::span<const RouteRequest> requests,
+      std::vector<obs::NetEvent>& events_out) const;
+
   const MethodRegistry& registry() const { return registry_; }
   /// The context handed to Routers (table resolved, pool attached).
   RouterContext context() const;

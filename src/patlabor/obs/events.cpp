@@ -30,6 +30,20 @@ SinkRegistry& sink_registry() {
   return *r;
 }
 
+/// Crash-time callbacks run after the sinks flush (same lifetime rules as
+/// SinkRegistry: leaked, because terminate may run during static
+/// destruction).
+struct HookRegistry {
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> hooks;
+  std::uint64_t next_token = 1;
+};
+
+HookRegistry& hook_registry() {
+  static HookRegistry* r = new HookRegistry;  // intentionally leaked
+  return *r;
+}
+
 std::terminate_handler g_prev_terminate = nullptr;
 
 [[noreturn]] void flushing_terminate() {
@@ -89,6 +103,27 @@ void append_kv_int(std::string& out, const char* key, Int value) {
 }
 
 }  // namespace
+
+std::uint64_t add_flush_hook(std::function<void()> hook) {
+  install_exit_hooks_once();
+  HookRegistry& reg = hook_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const std::uint64_t token = reg.next_token++;
+  reg.hooks.emplace_back(token, std::move(hook));
+  return token;
+}
+
+void remove_flush_hook(std::uint64_t token) {
+  HookRegistry& reg = hook_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.hooks.erase(std::remove_if(reg.hooks.begin(), reg.hooks.end(),
+                                 [token](const auto& h) {
+                                   return h.first == token;
+                                 }),
+                  reg.hooks.end());
+}
+
+void install_flush_at_exit() { install_exit_hooks_once(); }
 
 std::string build_git_sha() {
 #ifdef PATLABOR_GIT_SHA
@@ -257,6 +292,19 @@ void EventSink::emit(const NetEvent& e) {
     append_kv_int(line, "wall_us", e.wall_us);
     line += ',';
     append_kv_int(line, "cpu_us", e.cpu_us);
+    // Service lifecycle fields: present only for daemon-served nets
+    // (batch_size != 0) and, like wall/cpu, never in deterministic mode —
+    // queue wait and batch packing are scheduling artifacts.
+    if (e.batch_size != 0) {
+      line += ',';
+      append_kv_int(line, "queue_wait_us", e.queue_wait_us);
+      line += ',';
+      append_kv_int(line, "batch_id", e.batch_id);
+      line += ',';
+      append_kv_int(line, "batch_size", e.batch_size);
+      line += ',';
+      append_kv_int(line, "write_us", e.write_us);
+    }
   }
   line += "}\n";
 
@@ -276,9 +324,15 @@ void EventSink::flush() {
 }
 
 void EventSink::flush_all() noexcept {
-  SinkRegistry& reg = sink_registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
-  for (EventSink* sink : reg.sinks) sink->flush();
+  {
+    SinkRegistry& reg = sink_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (EventSink* sink : reg.sinks) sink->flush();
+  }
+  HookRegistry& hooks = hook_registry();
+  std::lock_guard<std::mutex> lock(hooks.mu);
+  for (const auto& [token, hook] : hooks.hooks)
+    if (hook) hook();
 }
 
 void EventSink::write_line(const std::string& line) {

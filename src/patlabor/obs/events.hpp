@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -51,6 +52,16 @@ struct NetEvent {
   double hypervolume = 0.0;  ///< normalized vs bbox ref (eval::net_hypervolume)
   int iterations = 0;        ///< PatLabor local-search rounds
   std::uint64_t wall_us = 0, cpu_us = 0;  ///< omitted in deterministic mode
+
+  /// Service lifecycle (filled by serve::Server for daemon-routed nets;
+  /// batch_size == 0 means "not served" and the whole group is omitted).
+  /// All four are scheduling-volatile, so like wall/cpu they are omitted in
+  /// deterministic mode — which is what keeps a daemon's deterministic
+  /// event file byte-identical (modulo tag) to a direct-engine run.
+  std::uint64_t queue_wait_us = 0;  ///< admission enqueue -> dispatcher pop
+  std::uint64_t batch_id = 0;       ///< which coalesced batch served it
+  std::size_t batch_size = 0;       ///< occupancy of that batch
+  std::uint64_t write_us = 0;       ///< response frame write duration
 };
 
 /// Run-level header written as the first JSONL line.  Defaults for git_sha
@@ -110,9 +121,10 @@ class EventSink {
   /// Flushes buffered bytes to the OS; safe to call concurrently.
   void flush();
 
-  /// Flushes every live sink.  Installed as an atexit hook and chained
-  /// into std::terminate when the first sink is constructed, so event
-  /// files survive error exits and escaped exceptions.
+  /// Flushes every live sink and runs every registered flush hook.
+  /// Installed as an atexit hook and chained into std::terminate when the
+  /// first sink is constructed, so event files survive error exits and
+  /// escaped exceptions.
   static void flush_all() noexcept;
 
  private:
@@ -124,6 +136,19 @@ class EventSink {
   Options options_;
   std::size_t emitted_ = 0;
 };
+
+/// Registers a callback run by EventSink::flush_all() — i.e. at exit and
+/// on an escaped exception — after the sinks themselves have flushed.
+/// For subsystems with their own crash-time artifact (the server's flight
+/// recorder dumps its ring here).  Returns a token for remove_flush_hook;
+/// hooks must be removed before whatever they capture is destroyed.  The
+/// hook must not throw.
+std::uint64_t add_flush_hook(std::function<void()> hook);
+void remove_flush_hook(std::uint64_t token);
+
+/// Ensures the atexit + terminate flush hooks are installed even when no
+/// EventSink exists (add_flush_hook callers without an event file).
+void install_flush_at_exit();
 
 /// Git revision baked in at configure time ("unknown" outside a checkout).
 std::string build_git_sha();

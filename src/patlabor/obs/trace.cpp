@@ -44,6 +44,15 @@ ThreadBuf& local_buf() {
   return *buf;
 }
 
+/// Virtual-lane buffer by tid, nullptr for thread-bound or unknown tids.
+std::shared_ptr<ThreadBuf> lane_buf(std::uint32_t tid) {
+  BufRegistry& r = buf_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& b : r.bufs)
+    if (b->tid == tid) return b;
+  return nullptr;
+}
+
 void escape_json(const std::string& s, std::string& out) {
   for (char c : s) {
     switch (c) {
@@ -71,6 +80,32 @@ void set_thread_name(std::string name) {
   ThreadBuf& b = local_buf();
   std::lock_guard<std::mutex> lock(b.mu);
   b.name = std::move(name);
+}
+
+std::uint32_t alloc_lane(std::string name) {
+  auto b = std::make_shared<ThreadBuf>();
+  b->name = std::move(name);
+  BufRegistry& r = buf_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  b->tid = r.next_tid++;
+  r.bufs.push_back(std::move(b));
+  return r.bufs.back()->tid;
+}
+
+void record_span_in_lane(std::uint32_t tid, std::string name,
+                         std::uint64_t ts_us, std::uint64_t dur_us,
+                         std::uint32_t depth) {
+  if (!enabled()) return;
+  const std::shared_ptr<ThreadBuf> b = lane_buf(tid);
+  if (b == nullptr) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.tid = tid;
+  e.depth = depth;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->events.push_back(std::move(e));
 }
 
 std::vector<std::pair<std::uint32_t, std::string>> thread_names() {

@@ -62,6 +62,20 @@ void record_span(std::string name, std::uint64_t ts_us, std::uint64_t dur_us);
 /// a thread wins.  Pool workers register themselves on startup.
 void set_thread_name(std::string name);
 
+/// Allocates a *virtual* lane: a named tid in the trace output that is not
+/// bound to any thread.  For entities whose work is executed by varying
+/// threads but should render as one timeline — the server gives every
+/// client connection a lane ("serve.conn-3") and records request spans
+/// into it from the dispatcher.  Lanes live for the process lifetime.
+std::uint32_t alloc_lane(std::string name);
+
+/// Records an already-timed complete event into a virtual lane (or any
+/// tid) at the given nesting depth.  Thread-safe; no-op when recording is
+/// disabled or the lane was never allocated.
+void record_span_in_lane(std::uint32_t tid, std::string name,
+                         std::uint64_t ts_us, std::uint64_t dur_us,
+                         std::uint32_t depth = 0);
+
 /// Snapshot of every (tid, name) pair registered via set_thread_name.
 std::vector<std::pair<std::uint32_t, std::string>> thread_names();
 

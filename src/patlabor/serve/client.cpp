@@ -146,4 +146,10 @@ void Client::reload() {
   (void)await_reply(id, FrameType::kReloadResponse);
 }
 
+WireStats Client::stats() {
+  const std::uint64_t id = next_id_++;
+  send_bytes(encode_empty(FrameType::kStatsRequest, id));
+  return decode_stats(await_reply(id, FrameType::kStatsResponse));
+}
+
 }  // namespace patlabor::serve

@@ -73,6 +73,10 @@ class Client {
   /// Asks the daemon to reload its engine/table; returns when scheduled.
   void reload();
 
+  /// Fetches the daemon's live service stats (queue depth, in-flight
+  /// count, per-stage latency quantiles, per-client counters).
+  WireStats stats();
+
   // ---- pipelined interface -------------------------------------------
 
   /// Sends a route request without waiting; returns its request id.

@@ -302,4 +302,82 @@ std::string decode_text(std::span<const std::uint8_t> payload) {
   return s;
 }
 
+namespace {
+
+constexpr std::uint32_t kMaxClients = 1u << 16;
+
+void write_stage(WireWriter& w, const WireStageStats& s) {
+  w.u64(s.count);
+  w.u64(s.p50_us);
+  w.u64(s.p95_us);
+  w.u64(s.p99_us);
+}
+
+WireStageStats read_stage(WireReader& r) {
+  WireStageStats s;
+  s.count = r.u64();
+  s.p50_us = r.u64();
+  s.p95_us = r.u64();
+  s.p99_us = r.u64();
+  return s;
+}
+
+}  // namespace
+
+std::string encode_stats_response(std::uint64_t request_id,
+                                  const WireStats& stats) {
+  std::string frame = start_frame(FrameType::kStatsResponse, request_id);
+  WireWriter w(frame);
+  w.u64(stats.queue_depth);
+  w.u64(stats.in_flight);
+  w.u64(stats.connections);
+  w.u64(stats.requests);
+  w.u64(stats.responses);
+  w.u64(stats.errors);
+  w.u64(stats.batches);
+  w.u64(stats.reloads);
+  write_stage(w, stats.queue_wait);
+  write_stage(w, stats.route);
+  write_stage(w, stats.write);
+  w.u32(static_cast<std::uint32_t>(stats.clients.size()));
+  for (const WireClientStats& c : stats.clients) {
+    w.str(c.tag);
+    w.u64(c.requests);
+    w.u64(c.bytes);
+    w.u64(c.errors);
+  }
+  return finish_frame(std::move(frame),
+                      {.type = FrameType::kStatsResponse,
+                       .request_id = request_id});
+}
+
+WireStats decode_stats(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WireStats s;
+  s.queue_depth = r.u64();
+  s.in_flight = r.u64();
+  s.connections = r.u64();
+  s.requests = r.u64();
+  s.responses = r.u64();
+  s.errors = r.u64();
+  s.batches = r.u64();
+  s.reloads = r.u64();
+  s.queue_wait = read_stage(r);
+  s.route = read_stage(r);
+  s.write = read_stage(r);
+  // Element floor: tag length prefix (4) + three u64 counters (24).
+  const std::uint32_t n = r.count(kMaxClients, 28, "clients");
+  s.clients.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WireClientStats c;
+    c.tag = r.str();
+    c.requests = r.u64();
+    c.bytes = r.u64();
+    c.errors = r.u64();
+    s.clients.push_back(std::move(c));
+  }
+  r.require_done("stats response");
+  return s;
+}
+
 }  // namespace patlabor::serve

@@ -49,7 +49,9 @@
 namespace patlabor::serve {
 
 inline constexpr std::uint32_t kMagic = 0x52424C50u;  // "PLBR"
-inline constexpr std::uint16_t kProtoVersion = 1;
+/// Version history: 1 = initial (route/ping/metrics/reload);
+/// 2 = adds the Stats frame pair (kStatsRequest/kStatsResponse).
+inline constexpr std::uint16_t kProtoVersion = 2;
 inline constexpr std::size_t kHeaderSize = 24;
 /// Default payload cap enforced by both sides (a degree-1000 net is ~16 KB;
 /// a metrics dump a few hundred KB — 16 MiB is generous headroom).
@@ -65,6 +67,8 @@ enum class FrameType : std::uint16_t {
   kMetricsResponse = 7,  ///< payload: string (Prometheus text format)
   kReloadRequest = 8,    ///< ask the daemon to rebuild its engine/table
   kReloadResponse = 9,   ///< ack: the reload is scheduled (async)
+  kStatsRequest = 10,    ///< v2: empty payload; asks for live service stats
+  kStatsResponse = 11,   ///< v2: payload: WireStats
 };
 
 enum class ErrorCode : std::uint32_t {
@@ -122,6 +126,43 @@ struct WireError {
   std::string message;
 };
 
+/// Latency summary of one service stage (microsecond quantiles computed
+/// server-side from the serve.* histograms; all zero when the server was
+/// built without PATLABOR_OBS or recording is disabled).
+struct WireStageStats {
+  std::uint64_t count = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+};
+
+/// Per-client counters, keyed by tag.  Sorted by tag on the wire so the
+/// encoding of a given server state is deterministic.
+struct WireClientStats {
+  std::string tag;
+  std::uint64_t requests = 0;
+  std::uint64_t bytes = 0;  ///< request payload in + response frames out
+  std::uint64_t errors = 0;
+};
+
+/// v2: live service introspection (kStatsResponse payload) — the answer to
+/// "what is the daemon doing right now": admission queue depth, in-flight
+/// count, lifetime totals, per-stage latency quantiles, per-client usage.
+struct WireStats {
+  std::uint64_t queue_depth = 0;
+  std::uint64_t in_flight = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t reloads = 0;
+  WireStageStats queue_wait;
+  WireStageStats route;
+  WireStageStats write;
+  std::vector<WireClientStats> clients;
+};
+
 // --- header codec ---------------------------------------------------------
 
 /// Appends the 24-byte header encoding to `out`.
@@ -154,11 +195,16 @@ std::string encode_empty(FrameType type, std::uint64_t request_id);
 std::string encode_text(FrameType type, std::uint64_t request_id,
                         const std::string& text);
 
+/// v2: StatsResponse frame.
+std::string encode_stats_response(std::uint64_t request_id,
+                                  const WireStats& stats);
+
 // --- payload decoders -----------------------------------------------------
 
 WireRouteRequest decode_route_request(std::span<const std::uint8_t> payload);
 WireRouteResponse decode_route_response(std::span<const std::uint8_t> payload);
 WireError decode_error(std::span<const std::uint8_t> payload);
 std::string decode_text(std::span<const std::uint8_t> payload);
+WireStats decode_stats(std::span<const std::uint8_t> payload);
 
 }  // namespace patlabor::serve

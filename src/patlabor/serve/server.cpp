@@ -13,8 +13,10 @@
 #include <utility>
 
 #include "patlabor/lut/lut.hpp"
+#include "patlabor/obs/events.hpp"
 #include "patlabor/obs/metrics.hpp"
 #include "patlabor/obs/obs.hpp"
+#include "patlabor/obs/trace.hpp"
 #include "patlabor/util/timer.hpp"
 
 namespace patlabor::serve {
@@ -46,6 +48,11 @@ struct Server::Conn {
   /// in-flight responses.
   std::atomic<bool> dead{false};
   std::thread reader;
+  /// Virtual Chrome-trace lane of this connection (obs::alloc_lane),
+  /// allocated lazily on the first admitted route request; 0 = none yet.
+  /// Written by the reader, read by the dispatcher: the admission queue
+  /// push/pop pair orders the accesses.
+  std::uint32_t lane = 0;
 };
 
 struct Server::Job {
@@ -53,11 +60,18 @@ struct Server::Job {
   std::uint64_t request_id = 0;
   geom::Net net;
   engine::RouteRequest request;
+  RequestTrace trace;
 };
 
-Server::Server(ServerOptions options) : options_(std::move(options)) {
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), flight_(options_.flight_capacity) {
   if (options_.socket_path.empty())
     throw std::runtime_error("serve: socket_path is required");
+
+  // The server owns event emission (see ServerOptions::engine doc): take
+  // the sink away from the engine so batches never double-emit.
+  if (obs::compiled_in()) sink_ = options_.engine.events;
+  options_.engine.events = nullptr;
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -90,6 +104,19 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
   engine_ = make_engine();  // throws on a bad lut_path before serving
   accept_thread_ = std::thread([this] { accept_loop(); });
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+
+  // Crash forensics: chain a flight-recorder dump into obs::flush_all()
+  // so a terminate/abort (whose handlers flush the event sinks) also
+  // leaves the last-requests JSONL behind.  Unregistered in stop().
+  if (obs::compiled_in() && !options_.flight_dump_path.empty()) {
+    flush_hook_token_ = obs::add_flush_hook([this] {
+      try {
+        flight_.dump(options_.flight_dump_path);
+      } catch (...) {
+        // A failed dump must never turn a flush into a second crash.
+      }
+    });
+  }
 }
 
 Server::~Server() { stop(); }
@@ -116,11 +143,109 @@ Server::Stats Server::stats() const {
   s.errors = stat_errors_.load(std::memory_order_relaxed);
   s.batches = stat_batches_.load(std::memory_order_relaxed);
   s.reloads = stat_reloads_.load(std::memory_order_relaxed);
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
   return s;
+}
+
+namespace {
+
+/// Quantile triple of one serve.* stage histogram; zeros when nothing was
+/// recorded (OBS off, recording disabled, or no traffic yet).
+WireStageStats stage_stats(const char* name) {
+  WireStageStats out;
+  if constexpr (obs::compiled_in()) {
+    const obs::Histogram::Summary s =
+        obs::StatsRegistry::instance().histogram(name).summary();
+    out.count = s.count;
+    out.p50_us = static_cast<std::uint64_t>(obs::histogram_quantile(s, 0.50));
+    out.p95_us = static_cast<std::uint64_t>(obs::histogram_quantile(s, 0.95));
+    out.p99_us = static_cast<std::uint64_t>(obs::histogram_quantile(s, 0.99));
+  } else {
+    (void)name;
+  }
+  return out;
+}
+
+}  // namespace
+
+WireStats Server::wire_stats() const {
+  WireStats s;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.queue_depth = queue_.size();
+  }
+  const Stats base = stats();
+  s.in_flight = base.in_flight;
+  s.connections = base.connections;
+  s.requests = base.requests;
+  s.responses = base.responses;
+  s.errors = base.errors;
+  s.batches = base.batches;
+  s.reloads = base.reloads;
+  s.queue_wait = stage_stats("serve.queue_wait_us");
+  s.route = stage_stats("serve.route_us");
+  s.write = stage_stats("serve.write_us");
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  s.clients.reserve(clients_.size());
+  for (const auto& [tag, c] : clients_) {  // std::map: sorted by tag
+    WireClientStats w;
+    w.tag = tag;
+    w.requests = c.requests;
+    w.bytes = c.bytes;
+    w.errors = c.errors;
+    s.clients.push_back(std::move(w));
+  }
+  return s;
+}
+
+FlightRecorder::DumpStats Server::dump_flight(const std::string& path) const {
+  const std::string& target =
+      path.empty() ? options_.flight_dump_path : path;
+  if (target.empty())
+    throw std::runtime_error(
+        "serve: no flight dump path (pass one or set flight_dump_path)");
+  return flight_.dump(target);
+}
+
+void Server::request_event_sink(obs::EventSink* sink) {
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    pending_sink_ = sink;
+  }
+  sink_swap_requested_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+}
+
+void Server::note_client(const std::string& tag, std::uint64_t requests,
+                         std::uint64_t bytes, std::uint64_t errors) {
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    ClientCounters& c = clients_[tag];
+    c.requests += requests;
+    c.bytes += bytes;
+    c.errors += errors;
+  }
+  if constexpr (obs::compiled_in()) {
+    // Dynamic metric names (PL_COUNT caches a static handle, so it only
+    // fits literal names): register through the registry directly.
+    if (obs::enabled()) {
+      obs::StatsRegistry& reg = obs::StatsRegistry::instance();
+      const std::string base = "serve.client." + tag;
+      if (requests != 0) reg.counter(base + ".requests").add(requests);
+      if (bytes != 0) reg.counter(base + ".bytes").add(bytes);
+      if (errors != 0) reg.counter(base + ".errors").add(errors);
+    }
+  }
 }
 
 void Server::stop() {
   if (stopped_) return;
+  // Unhook the crash-dump first: after stop() the recorder outlives its
+  // usefulness, and the hook must never outlive `this`.
+  if (flush_hook_token_ != 0) {
+    obs::remove_flush_hook(flush_hook_token_);
+    flush_hook_token_ = 0;
+  }
   begin_drain();
 
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -301,7 +426,15 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn_ptr,
       write_frame(conn,
                   encode_empty(FrameType::kReloadResponse, header.request_id));
       return;
+    case FrameType::kStatsRequest:
+      write_frame(conn,
+                  encode_stats_response(header.request_id, wire_stats()));
+      return;
     case FrameType::kRouteRequest: {
+      // Stamp "frame read complete" before decode: the wire cost of the
+      // request is part of its lifecycle, the parse is ours.
+      std::uint64_t read_us = 0;
+      if constexpr (obs::compiled_in()) read_us = obs::now_us();
       WireRouteRequest wire;
       try {
         wire = decode_route_request(payload);
@@ -311,16 +444,22 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn_ptr,
         send_error(conn, header.request_id, e.code, e.what());
         return;
       }
+      // Per-client tagging: an explicit client tag wins, else the
+      // connection id — either way every event record is attributable.
+      const std::string tag = wire.request.tag.empty()
+                                  ? "c" + std::to_string(conn.id)
+                                  : wire.request.tag;
       // Admission validation: refuse early what routing would refuse late.
       try {
         engine::parse_method(wire.request.method);
       } catch (const std::invalid_argument& e) {
-        send_error(conn, header.request_id, ErrorCode::kBadRequest, e.what());
+        send_error(conn, header.request_id, ErrorCode::kBadRequest, e.what(),
+                   tag);
         return;
       }
       if (wire.net.degree() < 2) {
         send_error(conn, header.request_id, ErrorCode::kBadRequest,
-                   "net needs at least 2 pins (source + sink)");
+                   "net needs at least 2 pins (source + sink)", tag);
         return;
       }
       if (wire.lambda != 0 && wire.lambda != options_.engine.lambda) {
@@ -328,7 +467,8 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn_ptr,
                    "server runs lambda=" +
                        std::to_string(options_.engine.lambda) +
                        ", request pinned lambda=" +
-                       std::to_string(wire.lambda));
+                       std::to_string(wire.lambda),
+                   tag);
         return;
       }
       Job job;
@@ -336,12 +476,22 @@ void Server::handle_frame(const std::shared_ptr<Conn>& conn_ptr,
       job.request_id = header.request_id;
       job.net = std::move(wire.net);
       job.request = std::move(wire.request);
-      // Per-client tagging: an explicit client tag wins, else the
-      // connection id — either way every event record is attributable.
-      if (job.request.tag.empty())
-        job.request.tag = "c" + std::to_string(conn.id);
+      job.request.tag = tag;
       stat_requests_.fetch_add(1, std::memory_order_relaxed);
       PL_COUNT("serve.requests", 1);
+      note_client(tag, 1, kHeaderSize + payload.size(), 0);
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (obs::compiled_in()) {
+        if (conn.lane == 0)
+          conn.lane = obs::alloc_lane("serve.conn-" + std::to_string(conn.id));
+        job.trace.conn_id = conn.id;
+        job.trace.request_id = header.request_id;
+        job.trace.tag = tag;
+        job.trace.degree = job.net.degree();
+        job.trace.read_us = read_us;
+        job.trace.enqueue_us = obs::now_us();
+        flight_.start(job.trace);
+      }
       {
         std::lock_guard<std::mutex> lock(queue_mu_);
         queue_.push_back(std::move(job));
@@ -365,8 +515,15 @@ void Server::dispatch_loop() {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait_for(lock, std::chrono::milliseconds(kPollMs), [&] {
         return !queue_.empty() || dispatcher_stop_ ||
-               reload_requested_.load(std::memory_order_acquire);
+               reload_requested_.load(std::memory_order_acquire) ||
+               sink_swap_requested_.load(std::memory_order_acquire);
       });
+      if (sink_swap_requested_.exchange(false, std::memory_order_acq_rel)) {
+        // Like reloads: the dispatcher is the only emitter, so swapping
+        // between batches needs no synchronization with emission.
+        std::lock_guard<std::mutex> slock(sink_mu_);
+        sink_ = obs::compiled_in() ? pending_sink_ : nullptr;
+      }
       if (reload_requested_.exchange(false, std::memory_order_acq_rel)) {
         // Safe without further locking: this thread is the only one that
         // ever routes, so nothing is using the old engine concurrently.
@@ -403,6 +560,7 @@ void Server::dispatch_batch(std::vector<Job>& jobs) {
   PL_SPAN("serve.batch");
   PL_HIST("serve.batch_size", jobs.size());
   stat_batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t batch_id = ++next_batch_id_;
 
   std::vector<geom::Net> nets;
   std::vector<engine::RouteRequest> requests;
@@ -413,31 +571,93 @@ void Server::dispatch_batch(std::vector<Job>& jobs) {
     requests.push_back(job.request);
   }
 
+  // Batch formation: every member left the queue and joined this batch at
+  // the same instant (one clock read — queue wait ends here for all).
+  if constexpr (obs::compiled_in()) {
+    const std::uint64_t dequeued = obs::now_us();
+    for (Job& job : jobs) {
+      job.trace.dequeue_us = dequeued;
+      job.trace.batch_id = batch_id;
+      job.trace.batch_size = jobs.size();
+    }
+  }
+
   util::Timer wall;
   std::vector<engine::RouteResponse> responses;
+  std::vector<obs::NetEvent> events;
   std::string failure;
   try {
-    responses = engine_->route_batch(nets, requests);
+    if (sink_ != nullptr)
+      responses = engine_->route_batch_collect(nets, requests, events);
+    else
+      responses = engine_->route_batch(nets, requests);
   } catch (const std::exception& e) {
     failure = e.what();
   }
   const auto wall_us = static_cast<std::uint64_t>(wall.seconds() * 1e6);
   PL_HIST("serve.batch_wall_us", wall_us);
+  const std::uint64_t routed =
+      obs::compiled_in() ? obs::now_us() : 0;
 
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     Job& job = jobs[i];
     if (job.conn == nullptr) continue;
+    if constexpr (obs::compiled_in()) job.trace.routed_us = routed;
     if (!failure.empty()) {
-      send_error(*job.conn, job.request_id, ErrorCode::kInternal, failure);
-      continue;
-    }
-    if (write_frame(*job.conn, encode_route_response(job.request_id,
-                                                     responses[i], wall_us))) {
-      stat_responses_.fetch_add(1, std::memory_order_relaxed);
-      PL_COUNT("serve.responses", 1);
+      job.trace.error = true;
+      send_error(*job.conn, job.request_id, ErrorCode::kInternal, failure,
+                 job.request.tag);
     } else {
-      stat_errors_.fetch_add(1, std::memory_order_relaxed);
+      const std::string frame =
+          encode_route_response(job.request_id, responses[i], wall_us);
+      if (write_frame(*job.conn, frame)) {
+        stat_responses_.fetch_add(1, std::memory_order_relaxed);
+        PL_COUNT("serve.responses", 1);
+        note_client(job.request.tag, 0, frame.size(), 0);
+      } else {
+        job.trace.error = true;
+        stat_errors_.fetch_add(1, std::memory_order_relaxed);
+        note_client(job.request.tag, 0, 0, 1);
+      }
     }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    if constexpr (obs::compiled_in()) {
+      job.trace.written_us = obs::now_us();
+      PL_HIST("serve.queue_wait_us", job.trace.queue_wait_us());
+      PL_HIST("serve.route_us", job.trace.route_us());
+      PL_HIST("serve.write_us", job.trace.write_us());
+      flight_.complete(job.trace);
+      // The connection's Chrome-trace lane: the whole request at depth 0,
+      // its three stages as children.
+      const std::uint32_t lane = job.conn->lane;
+      const RequestTrace& t = job.trace;
+      obs::record_span_in_lane(lane, "serve.request", t.enqueue_us,
+                               t.written_us - t.enqueue_us, 0);
+      obs::record_span_in_lane(lane, "serve.queue_wait", t.enqueue_us,
+                               t.queue_wait_us(), 1);
+      obs::record_span_in_lane(lane, "serve.route", t.dequeue_us,
+                               t.route_us(), 1);
+      obs::record_span_in_lane(lane, "serve.write", t.routed_us,
+                               t.write_us(), 1);
+    }
+  }
+
+  // Emission, in admission order, after the writes so the events carry
+  // the complete lifecycle.  index=kNoIndex lets the sink stamp its own
+  // emission sequence — the same indices a direct Engine::route_batch of
+  // the same nets would produce, which is what the daemon/direct parity
+  // contract (and the obsdiff-over-daemon gate) relies on.
+  if (sink_ != nullptr && failure.empty() && events.size() == jobs.size()) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      obs::NetEvent& e = events[i];
+      e.index = obs::NetEvent::kNoIndex;
+      e.queue_wait_us = jobs[i].trace.queue_wait_us();
+      e.batch_id = batch_id;
+      e.batch_size = jobs.size();
+      e.write_us = jobs[i].trace.write_us();
+      sink_->emit(e);
+    }
+    sink_->flush();
   }
 }
 
@@ -459,9 +679,10 @@ bool Server::write_frame(Conn& conn, const std::string& bytes) {
 }
 
 void Server::send_error(Conn& conn, std::uint64_t request_id, ErrorCode code,
-                        const std::string& message) {
+                        const std::string& message, const std::string& tag) {
   stat_errors_.fetch_add(1, std::memory_order_relaxed);
   PL_COUNT("serve.errors", 1);
+  note_client(tag.empty() ? "c" + std::to_string(conn.id) : tag, 0, 0, 1);
   write_frame(conn, encode_error(request_id, code, message));
 }
 

@@ -32,19 +32,31 @@
 // dispatcher and that connection's reader interleave responses); a write
 // failure marks the connection dead and its remaining responses are
 // counted as errors, never blocking the batch.
+//
+// Observability (DESIGN.md §6.3): every admitted request carries a
+// RequestTrace stamped at each lifecycle hop (frame read → enqueue →
+// dispatcher pop → batch formation → routed → response written).  The
+// trace feeds the serve.* stage histograms, a per-connection Chrome trace
+// lane, the service-lifecycle fields of the JSONL event record, and the
+// flight recorder (dumped on SIGQUIT / crash).  Live introspection goes
+// over the wire: kStatsRequest answers with queue depth, in-flight count,
+// per-stage latency quantiles and per-client usage (wire_stats()).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "patlabor/engine/engine.hpp"
+#include "patlabor/serve/flight_recorder.hpp"
 #include "patlabor/serve/proto.hpp"
 
 namespace patlabor::obs {
@@ -57,9 +69,14 @@ struct ServerOptions {
   /// Filesystem path of the AF_UNIX listening socket.  A stale file at the
   /// path is removed on bind; the file is unlinked again on shutdown.
   std::string socket_path;
-  /// Engine configuration (λ, jobs, cache, policy).  `table`/`events` are
-  /// honored like in direct embedding; prefer lut_path for a reloadable
-  /// table.
+  /// Engine configuration (λ, jobs, cache, policy).  `table` is honored
+  /// like in direct embedding; prefer lut_path for a reloadable table.
+  /// `events` is taken over by the server: the engine never emits — the
+  /// dispatcher collects each batch's events, completes their service-
+  /// lifecycle fields (queue_wait_us / batch_id / batch_size / write_us)
+  /// and emits them itself, in admission order with sink-stamped indices,
+  /// so a daemon deterministic event file is byte-identical to a direct
+  /// Engine::route_batch of the same nets modulo the tag field.
   engine::EngineOptions engine;
   /// Optional lookup table loaded at startup and re-loaded on
   /// request_reload() (lut::LookupTable::load).  Empty = no table.
@@ -69,6 +86,15 @@ struct ServerOptions {
   std::uint32_t max_payload = kDefaultMaxPayload;
   /// Most nets coalesced into one Engine::route_batch call.
   std::size_t max_batch = 256;
+  /// Completed-request capacity of the flight recorder (the last N
+  /// finished RequestTrace records kept for post-hoc diagnosis; in-flight
+  /// records are always all retained).
+  std::size_t flight_capacity = 256;
+  /// When non-empty, the server chains a flight-recorder dump to this path
+  /// into obs::flush_all() (add_flush_hook), so a crash or std::terminate
+  /// leaves the last-requests JSONL behind.  patlabord additionally dumps
+  /// here on SIGQUIT via dump_flight().
+  std::string flight_dump_path;
 };
 
 class Server {
@@ -105,12 +131,40 @@ class Server {
     std::uint64_t errors = 0;       ///< error frames sent + failed writes
     std::uint64_t batches = 0;      ///< Engine::route_batch calls
     std::uint64_t reloads = 0;      ///< engine rebuilds completed
+    std::uint64_t in_flight = 0;    ///< admitted, not yet answered
   };
   Stats stats() const;
+
+  /// The kStatsResponse payload: stats() plus queue depth, per-stage
+  /// latency quantiles (from the serve.* histograms; zeros under
+  /// PATLABOR_OBS=OFF) and per-client counters sorted by tag.
+  WireStats wire_stats() const;
+
+  /// Dumps the flight recorder as JSONL to `path` (empty = the configured
+  /// flight_dump_path).  Callable from any thread at any time — this is
+  /// what patlabord's SIGQUIT handler calls on a live, loaded daemon.
+  /// Throws std::runtime_error on I/O failure or when no path is known.
+  FlightRecorder::DumpStats dump_flight(const std::string& path = {}) const;
+
+  /// In-memory flight-recorder contents (in-flight first); for tests.
+  std::vector<std::pair<RequestTrace, bool>> flight_snapshot() const {
+    return flight_.snapshot();
+  }
+
+  /// Asks the dispatcher to emit subsequent batches' events into `sink`
+  /// (nullptr = stop emitting).  Applied between batches, like reloads, so
+  /// it needs no synchronization with routing; the swap is visible once
+  /// the next batch starts.  The sink must outlive its tenure.
+  void request_event_sink(obs::EventSink* sink);
 
  private:
   struct Conn;
   struct Job;
+  struct ClientCounters {
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t errors = 0;
+  };
 
   void accept_loop();
   void reader_loop(std::shared_ptr<Conn> conn);
@@ -124,12 +178,32 @@ class Server {
   /// Marks the connection dead and closes its fd (serialized against
   /// in-flight writes).  Idempotent.
   void close_conn(Conn& conn);
+  /// `tag` attributes the error to a client for the per-client counters;
+  /// empty falls back to the connection identity ("c<id>").
   void send_error(Conn& conn, std::uint64_t request_id, ErrorCode code,
-                  const std::string& message);
+                  const std::string& message, const std::string& tag = {});
   std::unique_ptr<engine::Engine> make_engine();
+  /// Accumulates per-client usage (the stats frame + the dynamic
+  /// serve.client.<tag>.* registry counters).
+  void note_client(const std::string& tag, std::uint64_t requests,
+                   std::uint64_t bytes, std::uint64_t errors);
 
   ServerOptions options_;
   std::unique_ptr<engine::Engine> engine_;  // dispatcher-owned after start
+  FlightRecorder flight_;
+  std::uint64_t flush_hook_token_ = 0;  // 0 = no hook registered
+
+  // Event emission is server-owned (see ServerOptions::engine.events).
+  // `sink_` is dispatcher-only after start; swaps go through the pending
+  // slot and are applied between batches.
+  obs::EventSink* sink_ = nullptr;
+  std::mutex sink_mu_;
+  obs::EventSink* pending_sink_ = nullptr;  // under sink_mu_
+  std::atomic<bool> sink_swap_requested_{false};
+  std::uint64_t next_batch_id_ = 0;  // dispatcher-only
+
+  mutable std::mutex clients_mu_;
+  std::map<std::string, ClientCounters> clients_;
 
   int listen_fd_ = -1;
   std::atomic<bool> draining_{false};
@@ -141,7 +215,7 @@ class Server {
   std::vector<std::shared_ptr<Conn>> conns_;
   std::uint64_t next_conn_id_ = 0;
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;  // wire_stats() reads the depth
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;
   bool dispatcher_stop_ = false;  // set under queue_mu_ once readers joined
@@ -155,6 +229,7 @@ class Server {
   std::atomic<std::uint64_t> stat_errors_{0};
   std::atomic<std::uint64_t> stat_batches_{0};
   std::atomic<std::uint64_t> stat_reloads_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
 };
 
 }  // namespace patlabor::serve

@@ -2,13 +2,18 @@
 // edge cases (truncation, oversize, version/type mismatches), the daemon
 // contract — byte-identical responses to a direct Engine call, request-id
 // echo under pipelining, concurrent interleaved clients, graceful drain,
-// reload — and per-client tag attribution in the event stream.
+// reload — and the observability surface: per-client tag attribution and
+// daemon/direct parity of the event stream, the kStatsRequest wire frame,
+// per-stage latency attribution against the client-observed wall, the
+// flight recorder dump, and the SIGUSR1 metrics dump.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +28,8 @@
 #include "patlabor/lut/lut.hpp"
 #include "patlabor/netgen/netgen.hpp"
 #include "patlabor/obs/events.hpp"
+#include "patlabor/obs/metrics.hpp"
+#include "patlabor/obs/obs.hpp"
 #include "patlabor/serve/client.hpp"
 #include "patlabor/serve/proto.hpp"
 #include "patlabor/serve/server.hpp"
@@ -569,6 +576,338 @@ TEST(Serve, StalePathReboundAndUnlinkedOnStop) {
   client.ping();
   second.stop();
   EXPECT_NE(::access(options.socket_path.c_str(), F_OK), 0);
+}
+
+// ---- service observability ------------------------------------------------
+
+TEST(Proto, StatsRoundtrip) {
+  serve::WireStats s;
+  s.queue_depth = 3;
+  s.in_flight = 5;
+  s.connections = 2;
+  s.requests = 100;
+  s.responses = 95;
+  s.errors = 1;
+  s.batches = 40;
+  s.reloads = 2;
+  s.queue_wait = {.count = 95, .p50_us = 120, .p95_us = 900, .p99_us = 2500};
+  s.route = {.count = 95, .p50_us = 3000, .p95_us = 9000, .p99_us = 12000};
+  s.write = {.count = 95, .p50_us = 15, .p95_us = 40, .p99_us = 80};
+  s.clients.push_back({.tag = "alice", .requests = 60, .bytes = 4096,
+                       .errors = 0});
+  s.clients.push_back({.tag = "c1", .requests = 40, .bytes = 2048,
+                       .errors = 1});
+  const std::string frame = serve::encode_stats_response(9, s);
+  const serve::FrameHeader header = serve::decode_header(
+      {reinterpret_cast<const std::uint8_t*>(frame.data()),
+       serve::kHeaderSize});
+  EXPECT_EQ(header.type, serve::FrameType::kStatsResponse);
+  EXPECT_EQ(header.request_id, 9u);
+  const serve::WireStats back = serve::decode_stats(payload_of(frame));
+  EXPECT_EQ(back.queue_depth, 3u);
+  EXPECT_EQ(back.in_flight, 5u);
+  EXPECT_EQ(back.requests, 100u);
+  EXPECT_EQ(back.reloads, 2u);
+  EXPECT_EQ(back.queue_wait.p99_us, 2500u);
+  EXPECT_EQ(back.route.p50_us, 3000u);
+  EXPECT_EQ(back.write.count, 95u);
+  ASSERT_EQ(back.clients.size(), 2u);
+  EXPECT_EQ(back.clients[0].tag, "alice");
+  EXPECT_EQ(back.clients[0].bytes, 4096u);
+  EXPECT_EQ(back.clients[1].tag, "c1");
+  EXPECT_EQ(back.clients[1].errors, 1u);
+  // Truncation is rejected like every other payload.
+  const auto payload = payload_of(frame);
+  EXPECT_THROW(serve::decode_stats(payload.first(payload.size() - 1)),
+               serve::ProtoError);
+}
+
+TEST(ServeObs, StatsFrameReportsTotalsStagesAndClients) {
+  obs::set_enabled(true);
+  serve::Server server(base_options());
+  serve::Client alice(server.socket_path());
+  alice.set_tag("alice");
+  serve::Client anon(server.socket_path());
+  const std::vector<geom::Net> nets = make_nets(43, 4);
+  for (const geom::Net& net : nets) {
+    alice.route(net, {});
+    anon.route(net, {});
+  }
+  const std::uint64_t expect = 2 * nets.size();
+  // The dispatcher bumps responses/in-flight a beat after the client reads
+  // its last reply; poll until the totals settle.
+  serve::WireStats stats = alice.stats();
+  for (int i = 0;
+       i < 200 && (stats.responses < expect || stats.in_flight != 0); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stats = alice.stats();
+  }
+  EXPECT_EQ(stats.requests, expect);
+  EXPECT_EQ(stats.responses, expect);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.connections, 2u);
+  // Tagged client under its tag, untagged under its connection id; the
+  // wire list is sorted by tag.
+  ASSERT_EQ(stats.clients.size(), 2u);
+  EXPECT_EQ(stats.clients[0].tag, "alice");
+  EXPECT_EQ(stats.clients[0].requests, nets.size());
+  EXPECT_GT(stats.clients[0].bytes, 0u);
+  EXPECT_EQ(stats.clients[0].errors, 0u);
+  EXPECT_EQ(stats.clients[1].tag, "c1");
+  EXPECT_EQ(stats.clients[1].requests, nets.size());
+  if (obs::compiled_in()) {
+    // Stage histograms are process-global: this server contributed at
+    // least its own samples.
+    EXPECT_GE(stats.queue_wait.count, expect);
+    EXPECT_GE(stats.route.count, expect);
+    EXPECT_GE(stats.write.count, expect);
+    EXPECT_GE(stats.route.p99_us, stats.route.p50_us);
+  } else {
+    EXPECT_EQ(stats.route.count, 0u);
+  }
+  server.stop();
+}
+
+TEST(ServeObs, Sigusr1DumpsMetricsWithServeFamilies) {
+  if (!obs::compiled_in())
+    GTEST_SKIP() << "metrics require PATLABOR_OBS=ON";
+  obs::set_enabled(true);
+  serve::Server server(base_options());
+  serve::Client client(server.socket_path());
+  for (const geom::Net& net : make_nets(61, 3)) client.route(net, {});
+
+  const std::string prom_file =
+      "/tmp/pl_serve_test_metrics_" + std::to_string(::getpid()) + ".prom";
+  obs::MetricsExporterOptions mopt;
+  mopt.path = prom_file;
+  // Long interval: any dump observed below is the signal's, not the timer's.
+  mopt.interval = std::chrono::milliseconds(60000);
+  mopt.dump_on_signal = true;
+  obs::MetricsExporter exporter(std::move(mopt));
+  const std::size_t before = exporter.dumps();
+  ASSERT_EQ(::kill(::getpid(), SIGUSR1), 0);
+  for (int i = 0; i < 2000 && exporter.dumps() == before; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_GT(exporter.dumps(), before);
+
+  // The dump is atomic (tmp + rename): the file is always a complete
+  // exposition, never a partial write.
+  std::ifstream in(prom_file);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("# TYPE patlabor_serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("patlabor_serve_responses"), std::string::npos);
+  EXPECT_NE(text.find("patlabor_serve_queue_wait_us"), std::string::npos);
+  EXPECT_NE(text.find("patlabor_serve_route_us"), std::string::npos);
+  EXPECT_NE(text.find("patlabor_serve_write_us"), std::string::npos);
+  exporter.stop();
+  server.stop();
+  std::remove(prom_file.c_str());
+}
+
+/// Drops the optional `,"tag":"..."` field from a JSONL event line.
+std::string strip_tag(std::string line) {
+  const std::size_t pos = line.find(",\"tag\":\"");
+  if (pos == std::string::npos) return line;
+  const std::size_t close = line.find('"', pos + 8);
+  EXPECT_NE(close, std::string::npos);
+  line.erase(pos, close - pos + 1);
+  return line;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(ServeObs, DeterministicDaemonEventsMatchDirectEngineModuloTags) {
+  if (!obs::compiled_in())
+    GTEST_SKIP() << "event streams require PATLABOR_OBS=ON";
+  const std::string suffix = std::to_string(::getpid()) + ".jsonl";
+  const std::string direct_file = "/tmp/pl_serve_test_direct_" + suffix;
+  const std::string daemon_file = "/tmp/pl_serve_test_daemon_" + suffix;
+  const std::vector<geom::Net> nets = make_nets(47, 6);
+
+  {
+    obs::EventSink sink(direct_file, {.deterministic = true});
+    engine::EngineOptions eopt = base_options().engine;
+    eopt.events = &sink;
+    const engine::Engine direct(eopt);
+    const std::vector<engine::RouteRequest> requests(nets.size());
+    direct.route_batch(nets, requests);
+    sink.flush();
+  }
+  {
+    obs::EventSink sink(daemon_file, {.deterministic = true});
+    serve::ServerOptions options = base_options();
+    options.engine.events = &sink;
+    serve::Server server(options);
+    serve::Client alice(server.socket_path());
+    alice.set_tag("alice");
+    serve::Client bob(server.socket_path());
+    // Synchronous alternating routes: admission order equals net order, so
+    // the sink stamps the same 0..N-1 index sequence as the direct batch.
+    for (std::size_t i = 0; i < nets.size(); ++i)
+      (i % 2 == 0 ? alice : bob).route(nets[i], {});
+    server.stop();
+    sink.flush();
+  }
+
+  const std::vector<std::string> direct_lines = read_lines(direct_file);
+  const std::vector<std::string> daemon_lines = read_lines(daemon_file);
+  ASSERT_EQ(direct_lines.size(), nets.size());
+  ASSERT_EQ(daemon_lines.size(), nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    // The daemon attributes every record to a client...
+    const char* expect_tag = (i % 2 == 0) ? "\"tag\":\"alice\"" : "\"tag\":\"c1\"";
+    EXPECT_NE(daemon_lines[i].find(expect_tag), std::string::npos) << i;
+    // ...and in deterministic mode omits the scheduling-dependent service
+    // fields entirely, so stripping the tag restores the direct bytes.
+    EXPECT_EQ(daemon_lines[i].find("queue_wait_us"), std::string::npos) << i;
+    EXPECT_EQ(strip_tag(daemon_lines[i]), direct_lines[i]) << i;
+  }
+  std::remove(direct_file.c_str());
+  std::remove(daemon_file.c_str());
+}
+
+TEST(ServeObs, NonDeterministicEventsCarryServeLifecycleFields) {
+  if (!obs::compiled_in())
+    GTEST_SKIP() << "event streams require PATLABOR_OBS=ON";
+  const std::string events_file = "/tmp/pl_serve_test_lifecycle_" +
+                                  std::to_string(::getpid()) + ".jsonl";
+  {
+    obs::EventSink sink(events_file, {});
+    serve::ServerOptions options = base_options();
+    options.engine.events = &sink;
+    serve::Server server(options);
+    serve::Client client(server.socket_path());
+    for (const geom::Net& net : make_nets(67, 3)) client.route(net, {});
+    server.stop();
+    sink.flush();
+  }
+  for (const std::string& line : read_lines(events_file)) {
+    EXPECT_NE(line.find("\"queue_wait_us\":"), std::string::npos);
+    EXPECT_NE(line.find("\"batch_id\":"), std::string::npos);
+    EXPECT_NE(line.find("\"batch_size\":"), std::string::npos);
+    EXPECT_NE(line.find("\"write_us\":"), std::string::npos);
+    EXPECT_NE(line.find("\"wall_us\":"), std::string::npos);
+    // Synchronous client: every batch holds exactly one job, ids from 1.
+    EXPECT_NE(line.find("\"batch_size\":1"), std::string::npos);
+    EXPECT_EQ(line.find("\"batch_id\":0"), std::string::npos);
+  }
+  EXPECT_EQ(read_lines(events_file).size(), 3u);
+  std::remove(events_file.c_str());
+}
+
+TEST(ServeObs, StageSumsMatchLifetimeAndBoundClientObservedWall) {
+  if (!obs::compiled_in())
+    GTEST_SKIP() << "request traces require PATLABOR_OBS=ON";
+  obs::set_enabled(true);
+  serve::Server server(base_options());
+  serve::Client client(server.socket_path());
+  const std::vector<geom::Net> nets = make_nets(53, 4);
+  std::vector<std::uint64_t> t0(nets.size()), t1(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const std::uint64_t id = i + 1;  // Client request ids count from 1
+    t0[i] = obs::now_us();
+    client.route(nets[i], {});
+    // Close the wall only once the recorder shows the request completed:
+    // the server stamps written_us after send() returns, which can race a
+    // fast client read by a few microseconds.
+    bool done = false;
+    for (int spin = 0; spin < 2000 && !done; ++spin) {
+      for (const auto& [trace, in_flight] : server.flight_snapshot())
+        if (!in_flight && trace.request_id == id) done = true;
+      if (!done) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(done) << "request " << id << " never completed";
+    t1[i] = obs::now_us();
+  }
+
+  std::size_t checked = 0;
+  for (const auto& [trace, in_flight] : server.flight_snapshot()) {
+    ASSERT_FALSE(in_flight);
+    ASSERT_GE(trace.request_id, 1u);
+    ASSERT_LE(trace.request_id, nets.size());
+    const std::size_t i = static_cast<std::size_t>(trace.request_id) - 1;
+    // The three stages tile the enqueue→written lifetime exactly...
+    const std::uint64_t stages =
+        trace.queue_wait_us() + trace.route_us() + trace.write_us();
+    EXPECT_EQ(stages, trace.written_us - trace.enqueue_us) << i;
+    // ...and that lifetime sits inside the client-observed wall.
+    EXPECT_GE(trace.enqueue_us, t0[i]) << i;
+    EXPECT_LE(stages, t1[i] - t0[i]) << i;
+    EXPECT_GE(trace.enqueue_us, trace.read_us) << i;
+    EXPECT_FALSE(trace.error) << i;
+    ++checked;
+  }
+  EXPECT_EQ(checked, nets.size());
+  server.stop();
+}
+
+TEST(ServeObs, FlightDumpCoversEveryAdmittedRequest) {
+  if (!obs::compiled_in())
+    GTEST_SKIP() << "the flight recorder requires PATLABOR_OBS=ON";
+  obs::set_enabled(true);
+  serve::ServerOptions options = base_options();
+  options.flight_capacity = 64;
+  serve::Server server(options);
+  serve::Client client(server.socket_path());
+  constexpr std::size_t kRequests = 12;
+  for (const geom::Net& net : make_nets(59, kRequests))
+    client.send_route(net, {});
+
+  const std::string dump_file =
+      "/tmp/pl_serve_test_flight_" + std::to_string(::getpid()) + ".jsonl";
+  // Dump mid-load: wait until at least one request was admitted, then
+  // snapshot while the pipeline races.
+  for (int i = 0; i < 2000 && server.flight_snapshot().empty(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const auto mid = server.dump_flight(dump_file);
+  EXPECT_GE(mid.in_flight + mid.completed, 1u);
+  std::size_t in_flight_lines = 0;
+  const std::vector<std::string> mid_lines = read_lines(dump_file);
+  for (const std::string& line : mid_lines) {
+    // Structural JSONL check: one complete object per line with the
+    // request-trace schema.
+    EXPECT_EQ(line.rfind("{\"type\":\"request\",", 0), 0u);
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"id\":"), std::string::npos);
+    EXPECT_NE(line.find("\"in_flight\":"), std::string::npos);
+    EXPECT_NE(line.find("\"queue_wait_us\":"), std::string::npos);
+    if (line.find("\"in_flight\":true") != std::string::npos)
+      ++in_flight_lines;
+  }
+  // The dump is taken under one lock: it holds exactly the in-flight set
+  // plus the completed ring at that instant.
+  EXPECT_EQ(mid_lines.size(), mid.in_flight + mid.completed);
+  EXPECT_EQ(in_flight_lines, mid.in_flight);
+
+  for (std::size_t i = 0; i < kRequests; ++i) client.read_route_reply();
+  server.stop();
+  // Every admitted request completed; the ring (capacity 64 > 12) retains
+  // them all.
+  const auto final_dump = server.dump_flight(dump_file);
+  EXPECT_EQ(final_dump.in_flight, 0u);
+  EXPECT_EQ(final_dump.completed, kRequests);
+  const std::vector<std::string> final_lines = read_lines(dump_file);
+  ASSERT_EQ(final_lines.size(), kRequests);
+  for (std::size_t id = 1; id <= kRequests; ++id) {
+    const std::string needle = "\"id\":" + std::to_string(id) + ",";
+    bool found = false;
+    for (const std::string& line : final_lines)
+      if (line.find(needle) != std::string::npos) found = true;
+    EXPECT_TRUE(found) << "request " << id << " missing from final dump";
+  }
+  std::remove(dump_file.c_str());
 }
 
 }  // namespace

@@ -4,7 +4,13 @@
 //                   [--params a,b,...] [--csv <out.csv>] [--tag <id>]
 //   patlabor_client <socket> ping
 //   patlabor_client <socket> metrics
+//   patlabor_client <socket> stats [--watch [interval_s]]
 //   patlabor_client <socket> reload
+//
+// stats prints the daemon's live service introspection (queue depth,
+// in-flight count, per-stage latency quantiles, per-client usage) from the
+// kStatsRequest wire frame; --watch re-fetches and reprints every
+// interval_s seconds (default 1) until interrupted.
 //
 // route pipelines every net in the file to the daemon (replies may arrive
 // out of order; they are matched by request id) and prints the frontiers
@@ -20,12 +26,14 @@
 // "tag" field of the daemon's JSONL event stream.
 //
 // Exit codes: 0 success, 1 transport/daemon error, 2 bad command line.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "patlabor/io/csv.hpp"
@@ -46,8 +54,64 @@ int usage() {
       "[--params a,b,...] [--csv <out.csv>] [--tag <id>]\n"
       "  patlabor_client <socket> ping\n"
       "  patlabor_client <socket> metrics\n"
+      "  patlabor_client <socket> stats [--watch [interval_s]]\n"
       "  patlabor_client <socket> reload\n");
   return 2;
+}
+
+void print_stage(const char* name, const serve::WireStageStats& s) {
+  std::printf("  %-12s count=%llu p50=%lluus p95=%lluus p99=%lluus\n", name,
+              static_cast<unsigned long long>(s.count),
+              static_cast<unsigned long long>(s.p50_us),
+              static_cast<unsigned long long>(s.p95_us),
+              static_cast<unsigned long long>(s.p99_us));
+}
+
+void print_stats(const serve::WireStats& s) {
+  std::printf("queue_depth=%llu in_flight=%llu connections=%llu "
+              "requests=%llu responses=%llu errors=%llu batches=%llu "
+              "reloads=%llu\n",
+              static_cast<unsigned long long>(s.queue_depth),
+              static_cast<unsigned long long>(s.in_flight),
+              static_cast<unsigned long long>(s.connections),
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.responses),
+              static_cast<unsigned long long>(s.errors),
+              static_cast<unsigned long long>(s.batches),
+              static_cast<unsigned long long>(s.reloads));
+  print_stage("queue_wait", s.queue_wait);
+  print_stage("route", s.route);
+  print_stage("write", s.write);
+  for (const serve::WireClientStats& c : s.clients)
+    std::printf("  client %-16s requests=%llu bytes=%llu errors=%llu\n",
+                c.tag.c_str(), static_cast<unsigned long long>(c.requests),
+                static_cast<unsigned long long>(c.bytes),
+                static_cast<unsigned long long>(c.errors));
+}
+
+int cmd_stats(serve::Client& client, int argc, char** argv) {
+  bool watch = false;
+  double interval_s = 1.0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+      if (i + 1 < argc) {
+        const auto v = util::parse_double(argv[i + 1]);
+        if (v && *v > 0) {
+          interval_s = *v;
+          ++i;
+        }
+      }
+    } else {
+      return usage();
+    }
+  }
+  for (;;) {
+    print_stats(client.stats());
+    if (!watch) return 0;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
 }
 
 int cmd_route(serve::Client& client, int argc, char** argv) {
@@ -147,6 +211,7 @@ int main(int argc, char** argv) {
       std::fwrite(text.data(), 1, text.size(), stdout);
       return 0;
     }
+    if (cmd == "stats") return cmd_stats(client, argc, argv);
     if (cmd == "reload") {
       client.reload();
       std::printf("reload scheduled\n");

@@ -4,6 +4,7 @@
 //   patlabord <socket_path> [--lut <path>] [--lambda N] [--jobs N]
 //             [--no-cache] [--max-batch N] [--events <out.jsonl>]
 //             [--events-deterministic] [--metrics-dump <out.prom>]
+//             [--flight-dump <out.jsonl>]
 //
 // The daemon accepts concurrent client connections (tools/patlabor_client,
 // serve::Client, or patlabor_cli route --remote), coalescing in-flight
@@ -23,7 +24,13 @@
 //                     dropped;
 //   SIGHUP            rebuild the engine, re-loading the --lut table from
 //                     disk, between batches (config/table reload without a
-//                     restart).
+//                     restart);
+//   SIGQUIT           dump the flight recorder (the last N completed
+//                     requests plus everything in flight) as JSONL to the
+//                     --flight-dump path (default <socket>.flight.jsonl)
+//                     and KEEP SERVING — live diagnosis of a loaded or
+//                     wedged daemon.  The same dump is chained into the
+//                     crash/terminate flush hooks.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -47,7 +54,8 @@ int usage() {
       stderr,
       "usage: patlabord <socket_path> [--lut <path>] [--lambda N] [--jobs N] "
       "[--no-cache] [--max-batch N] [--events <out.jsonl>] "
-      "[--events-deterministic] [--metrics-dump <out.prom>]\n");
+      "[--events-deterministic] [--metrics-dump <out.prom>] "
+      "[--flight-dump <out.jsonl>]\n");
   return 2;
 }
 
@@ -88,10 +96,14 @@ int main(int argc, char** argv) {
       events_deterministic = true;
     } else if (std::strcmp(argv[i], "--metrics-dump") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
+      options.flight_dump_path = argv[++i];
     } else {
       return usage();
     }
   }
+  if (options.flight_dump_path.empty())
+    options.flight_dump_path = options.socket_path + ".flight.jsonl";
 
   // Route every signal we handle through sigwait on this thread.  The mask
   // is installed before the server spawns its threads, so they inherit it
@@ -102,6 +114,7 @@ int main(int argc, char** argv) {
   sigaddset(&mask, SIGTERM);
   sigaddset(&mask, SIGINT);
   sigaddset(&mask, SIGHUP);
+  sigaddset(&mask, SIGQUIT);
   if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
     std::fprintf(stderr, "error: pthread_sigmask failed\n");
     return 1;
@@ -147,6 +160,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "patlabord: SIGHUP, reloading engine/table\n");
         server.request_reload();
         continue;
+      }
+      if (sig == SIGQUIT) {
+        try {
+          const auto dump = server.dump_flight();
+          std::fprintf(stderr,
+                       "patlabord: SIGQUIT, flight recorder dumped to %s "
+                       "(%zu in flight, %zu completed)\n",
+                       options.flight_dump_path.c_str(), dump.in_flight,
+                       dump.completed);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "patlabord: flight dump failed: %s\n",
+                       e.what());
+        }
+        continue;  // keep serving: the dump is a diagnostic, not a drain
       }
       std::fprintf(stderr, "patlabord: signal %d, draining\n", sig);
       break;
