@@ -4,8 +4,9 @@
 //   * scales its instance counts by the REPRO_SCALE env var (default 1.0),
 //   * prints a paper-style ASCII table to stdout,
 //   * writes a CSV next to the current working directory,
-//   * reuses one on-disk lookup-table cache (patlabor_lut_cache.bin) so the
-//     ~20 s degree-6 generation is paid once per checkout.
+//   * reuses one on-disk lookup-table cache (patlabor_lut_cache.bin under
+//     PATLABOR_BENCH_OUT, default bench/out/) so the ~20 s degree-6
+//     generation is paid once per checkout.
 #pragma once
 
 #include <cstdio>
@@ -21,8 +22,6 @@
 #include "patlabor/patlabor.hpp"
 
 namespace patlabor::bench {
-
-inline const char* kLutCachePath = "patlabor_lut_cache.bin";
 
 /// Directory for new bench artifacts (BENCH_*.json, CSVs, SVGs, phase
 /// reports): PATLABOR_BENCH_OUT if set, else bench/out/ under the CWD,
@@ -47,6 +46,13 @@ inline const std::string& out_dir() {
 /// Joins a file name onto out_dir().
 inline std::string out_path(const std::string& file) {
   return out_dir() + "/" + file;
+}
+
+/// The shared lookup-table cache file: lives under out_dir() (honoring
+/// PATLABOR_BENCH_OUT) instead of littering the repo root.
+inline const std::string& lut_cache_path() {
+  static const std::string path = out_path("patlabor_lut_cache.bin");
+  return path;
 }
 
 /// True when the PATLABOR_OBS env var (any value but "" / "0") asks benches
@@ -79,18 +85,18 @@ inline void emit_obs_report(const std::string& stem) {
 /// table is deep enough, regenerated (and re-cached) otherwise.
 inline lut::LookupTable cached_lut(int max_degree) {
   try {
-    lut::LookupTable t = lut::LookupTable::load(kLutCachePath);
+    lut::LookupTable t = lut::LookupTable::load(lut_cache_path());
     if (t.max_degree() >= max_degree) return t;
   } catch (const std::exception&) {
     // fall through to regeneration
   }
   std::printf("[setup] generating lookup tables up to degree %d "
               "(cached in %s)...\n",
-              max_degree, kLutCachePath);
+              max_degree, lut_cache_path().c_str());
   std::fflush(stdout);
   lut::LookupTable t = lut::LookupTable::generate(max_degree);
   try {
-    t.save(kLutCachePath);
+    t.save(lut_cache_path());
   } catch (const std::exception& e) {
     std::printf("[setup] cache write failed (%s); continuing in-memory\n",
                 e.what());

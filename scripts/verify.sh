@@ -5,6 +5,9 @@
 # the obsdiff regression gate (two-run self-compare + perturbed-seed
 # failure path, under PATLABOR_OBS ON and OFF builds), the metric-catalog
 # lint (every registered metric name documented in DESIGN.md §6.2), the
+# LUT storage gates (mmap vs heap byte-identity, kill-and-resume lutgen
+# hash match, the bench_lut_load attach-speed + page-sharing bars, two
+# concurrent daemons on one mmap'd table), the
 # daemon smoke gate (patlabord serving two concurrent clients whose CSVs
 # must be byte-identical to a direct patlabor_cli route, nonzero serve.*
 # metrics, the stats wire frame, a SIGQUIT flight-recorder dump, then a
@@ -188,6 +191,103 @@ serve_obsdiff() {
   rm -rf "$dir"
 }
 
+# LUT storage gate (quick part): one table file must answer identically
+# through every backend — mmap-by-default routing vs the forced heap
+# parse — and `lut info` must agree with itself on the content hash.
+lut_storage_gate() {
+  echo "== lut storage: mmap vs heap parse byte-identical + hash agreement =="
+  local dir
+  dir="$(mktemp -d)"
+  ./build/tools/patlabor_cli lutgen 5 "$dir/t.bin" > /dev/null
+  ./build/tools/patlabor_cli gen clustered 24 5 "$dir/nets.nets" 11 > /dev/null
+  ./build/tools/patlabor_cli route "$dir/nets.nets" --lut "$dir/t.bin" \
+    --csv "$dir/mmap.csv" > /dev/null
+  ./build/tools/patlabor_cli route "$dir/nets.nets" --lut "$dir/t.bin" \
+    --lut-heap --csv "$dir/heap.csv" > /dev/null
+  cmp "$dir/mmap.csv" "$dir/heap.csv"
+  ./build/tools/patlabor_cli lut info "$dir/t.bin" > "$dir/info.txt"
+  if grep -q 'MISMATCH' "$dir/info.txt"; then
+    echo "lut info: stored/computed content hash disagree"
+    cat "$dir/info.txt"
+    exit 1
+  fi
+  rm -rf "$dir"
+}
+
+# LUT storage gate (full parts): a lutgen killed mid-degree (deterministic
+# abort hook, exit 75) resumed from its checkpoint must produce a
+# content_hash-identical file; and two concurrent patlabord processes
+# serving the same mmap'd degree-6 table must both answer byte-identically
+# to a direct engine route over that table.
+lut_resume_gate() {
+  echo "== lut checkpoint: kill-and-resume lutgen hash-matches single-shot =="
+  local dir rc hash_once hash_resumed
+  dir="$(mktemp -d)"
+  ./build/tools/patlabor_cli lutgen 5 "$dir/once.bin" --jobs 2 > /dev/null
+  rc=0
+  PATLABOR_LUTGEN_ABORT_AFTER=10 ./build/tools/patlabor_cli lutgen 5 \
+    "$dir/resumed.bin" --jobs 2 --checkpoint "$dir/r.ckpt" \
+    --checkpoint-every 4 > /dev/null 2>&1 || rc=$?
+  if [[ $rc -ne 75 ]]; then
+    echo "lutgen: expected abort exit 75 (EX_TEMPFAIL), got $rc"
+    exit 1
+  fi
+  [[ -f "$dir/r.ckpt" ]] || { echo "lutgen: no checkpoint left behind"; exit 1; }
+  ./build/tools/patlabor_cli lutgen 5 "$dir/resumed.bin" --jobs 2 \
+    --checkpoint "$dir/r.ckpt" --resume > /dev/null
+  if [[ -e "$dir/r.ckpt" ]]; then
+    echo "lutgen: checkpoint not removed after the final save"
+    exit 1
+  fi
+  hash_once="$(./build/tools/patlabor_cli lut info "$dir/once.bin" \
+    | awk '/content hash/ { print $3 }')"
+  hash_resumed="$(./build/tools/patlabor_cli lut info "$dir/resumed.bin" \
+    | awk '/content hash/ { print $3 }')"
+  if [[ -z "$hash_once" || "$hash_once" != "$hash_resumed" ]]; then
+    echo "lutgen: resumed hash $hash_resumed != single-shot $hash_once"
+    exit 1
+  fi
+  rm -rf "$dir"
+}
+
+lut_daemon_share_gate() {
+  echo "== lut sharing: 2 daemons on one mmap'd table == direct engine =="
+  local dir table d1 d2 rc
+  dir="$(mktemp -d)"
+  table="$bench_out/patlabor_lut_cache.bin"  # built by bench_lut_load
+  ./build/tools/patlabor_cli gen uniform 12 6 "$dir/nets.nets" 7 > /dev/null
+  ./build/tools/patlabor_cli route "$dir/nets.nets" --lut "$table" \
+    --csv "$dir/direct.csv" > /dev/null
+  ./build/tools/patlabord "$dir/s1.sock" --lut "$table" \
+    > "$dir/d1.log" 2>&1 &
+  d1=$!
+  ./build/tools/patlabord "$dir/s2.sock" --lut "$table" \
+    > "$dir/d2.log" 2>&1 &
+  d2=$!
+  for _ in $(seq 50); do
+    ./build/tools/patlabor_client "$dir/s1.sock" ping 2> /dev/null \
+      && ./build/tools/patlabor_client "$dir/s2.sock" ping 2> /dev/null \
+      && break
+    sleep 0.1
+  done
+  ./build/tools/patlabor_client "$dir/s1.sock" route "$dir/nets.nets" \
+    --csv "$dir/a.csv" > /dev/null
+  ./build/tools/patlabor_client "$dir/s2.sock" route "$dir/nets.nets" \
+    --csv "$dir/b.csv" > /dev/null
+  cmp "$dir/a.csv" "$dir/direct.csv"
+  cmp "$dir/b.csv" "$dir/direct.csv"
+  kill -TERM "$d1" "$d2"
+  rc=0
+  wait "$d1" || rc=$?
+  wait "$d2" || rc=$((rc + $?))
+  if [[ $rc -ne 0 ]]; then
+    echo "patlabord: expected clean drains, got $rc"
+    cat "$dir/d1.log" "$dir/d2.log"
+    exit 1
+  fi
+  rm -rf "$dir"
+}
+
 echo "== metric catalog lint: registered names documented in DESIGN.md =="
 scripts/check_metric_catalog.sh
 
@@ -205,12 +305,20 @@ if [[ $quick -eq 1 ]]; then
     "$bench_out/BENCH_route_batch_scaling.json"
   serve_smoke
   serve_obsdiff
+  lut_storage_gate
   echo "verify: OK (quick)"
   exit 0
 fi
 
 serve_smoke
 serve_obsdiff
+lut_storage_gate
+lut_resume_gate
+
+echo "== lut storage bench: heap vs mmap attach + cross-process sharing =="
+(cd build/bench && PATLABOR_BENCH_OUT="$bench_out" ./bench_lut_load)
+
+lut_daemon_share_gate
 
 echo "== engine cache bench: cold/warm/nocache bit-identity =="
 (cd build/bench && REPRO_SCALE="${REPRO_SCALE:-0.5}" \
@@ -278,7 +386,8 @@ if [[ $run_asan -eq 1 ]]; then
   echo "== ASan+UBSan: dw / lut / pareto / serve tests =="
   cmake -B build-asan -S . -G Ninja -DPATLABOR_ASAN=ON
   cmake --build build-asan -j \
-    --target test_dw test_lut test_pareto test_core test_serve
+    --target test_dw test_lut test_lut_format test_pareto test_core \
+    test_serve
   (
     cd build-asan
     export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
@@ -286,6 +395,7 @@ if [[ $run_asan -eq 1 ]]; then
     ./tests/test_pareto
     ./tests/test_dw
     ./tests/test_lut
+    ./tests/test_lut_format
     ./tests/test_core
     ./tests/test_serve
   )

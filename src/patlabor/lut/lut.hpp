@@ -7,20 +7,37 @@
 // is configurable (deeper tables cost factorially more, see Table II), and
 // PatLabor transparently falls back to the numeric Pareto-DW — still exact
 // — for degrees the table does not cover.
+//
+// Storage is an immutable flat layout (table_storage.hpp): per degree, a
+// sorted index of canonical codes with {offset, count, nbytes} spans into
+// one contiguous topology blob.  The same bytes serve three backends:
+//   * heap   — owned buffers, produced by generate() or load();
+//   * mmap   — load_mmap()/open() map a format-v2 file (lut_format.hpp,
+//              DESIGN.md §13) read-only and query() serves straight from
+//              the page cache with zero deserialization, so N processes
+//              share one physical copy of the table;
+//   * resume — generate() checkpoints partial flat sections periodically
+//              (atomic tmp+rename) and --resume continues a killed run,
+//              producing a content_hash-identical table.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "patlabor/lut/param_dw.hpp"
+#include "patlabor/lut/table_storage.hpp"
 #include "patlabor/par/pool.hpp"
 #include "patlabor/pareto/solution_set.hpp"
 #include "patlabor/tree/routing_tree.hpp"
 
 namespace patlabor::lut {
+
+struct TableIo;
+struct CheckpointState;
 
 /// Per-degree generation statistics (the rows of Table II).
 struct DegreeStats {
@@ -38,17 +55,49 @@ struct DegreeStats {
   }
 };
 
+/// Thrown by generation when GenerateOptions::abort_after_patterns fires:
+/// a checkpoint has just been written, then the run stops — the
+/// deterministic stand-in for a mid-generation kill in the resume tests
+/// and the verify.sh kill-and-resume gate.
+struct GenerationAborted : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 class LookupTable {
  public:
   LookupTable() = default;
 
+  /// Checkpoint/resume configuration of long generation runs.
+  struct GenerateOptions {
+    ParamDwOptions dw;
+    /// Pattern DPs fan out over this pool (global pool when null); the
+    /// table content is bit-identical for every pool size.
+    par::ThreadPool* pool = nullptr;
+    /// When non-empty, generation atomically rewrites this checkpoint file
+    /// (completed-pattern bitmap + partial flat sections, tmp+rename)
+    /// every `checkpoint_every` merged patterns and at each degree
+    /// boundary, so a killed multi-hour run resumes instead of restarting.
+    std::string checkpoint_path;
+    std::uint64_t checkpoint_every = 256;
+    /// Continue from checkpoint_path if it exists (fresh run otherwise).
+    /// The resumed table is content_hash-identical to a single-shot run:
+    /// the canonical merge order is preserved across the boundary.
+    bool resume = false;
+    /// Testing hook: after this many patterns merged *in this run*, write
+    /// a checkpoint and throw GenerationAborted (0 = never).
+    std::uint64_t abort_after_patterns = 0;
+  };
+
   /// Generates tables for all degrees 4..max_degree (degree 2 and 3 are
-  /// trivial and answered in closed form by query()).  Pattern DPs are
-  /// distributed over `pool` (the global pool when null); the table content
-  /// is bit-identical for every pool size.
+  /// trivial and answered in closed form by query()).
   static LookupTable generate(int max_degree,
                               const ParamDwOptions& options = {},
                               par::ThreadPool* pool = nullptr);
+
+  /// Generation with checkpoint/resume; degrees already completed in the
+  /// checkpoint are restored, the in-progress degree continues at its
+  /// first unmerged pattern.
+  static LookupTable generate(int max_degree, const GenerateOptions& options);
 
   /// Generates and merges one additional degree into this table.
   void generate_degree(int degree, const ParamDwOptions& options = {},
@@ -74,23 +123,65 @@ class LookupTable {
 
   /// Order-independent digest of the table content (codes + topologies;
   /// generation timings excluded).  Equal digests across --jobs settings
-  /// are the determinism contract of parallel generation.
+  /// are the determinism contract of parallel generation; equal digests
+  /// across heap / mmap / resumed storage paths are the contract of the
+  /// flat layout (verify.sh storage gate).
   std::uint64_t content_hash() const;
 
-  /// Binary (de)serialization; format documented in lut_io.cpp.
+  /// Saves in format v2 (lut_format.hpp, DESIGN.md §13), atomically
+  /// (tmp + rename).
   void save(const std::string& path) const;
+
+  /// Loads into owned heap buffers.  Accepts v2 and (via a conversion
+  /// path) legacy v1 files; verifies v2 section checksums.
   static LookupTable load(const std::string& path);
 
+  /// Maps a v2 file read-only and serves queries from the mapping with
+  /// zero deserialization.  The file must outlive the table (and any
+  /// copy of it).  Throws on v1 files — convert with load()+save().
+  static LookupTable load_mmap(const std::string& path);
+
+  /// load_mmap() for v2 files, load() for v1: the default way to attach
+  /// an on-disk table (patlabord, patlabor_cli route --lut).
+  static LookupTable open(const std::string& path);
+
+  enum class StorageBackend { kHeap, kMmap };
+  struct StorageInfo {
+    StorageBackend backend = StorageBackend::kHeap;
+    /// Flat index+blob bytes (owned) or the whole mapping (mmap).
+    std::uint64_t bytes = 0;
+    /// Physically resident estimate: == bytes for heap, mincore() count
+    /// for mmap (grows as queries touch pages).
+    std::uint64_t resident_bytes = 0;
+  };
+  /// Reports the storage backend and refreshes the lut.storage.* gauges.
+  StorageInfo storage() const;
+
  private:
-  friend struct LutSerializer;
+  friend struct TableIo;
+
+  struct Slice {
+    /// Keeps owned buffers alive; null when backed by mapping_.
+    std::shared_ptr<const OwnedSection> owned;
+    SectionView view;
+  };
+
+  void set_owned_slice(int degree, const DegreeStats& st, OwnedSection sec);
 
   /// Ordered-reduction step of parallel generation: folds one pattern's DP
-  /// solutions into the table, preserving the canonical insertion order.
+  /// solutions into the builder, preserving the canonical insertion order.
   void merge_pattern(const PinPattern& pat, const PatternSolutions& sols,
-                     DegreeStats& st);
+                     DegreeStats& st, TableBuilder& builder);
 
-  std::unordered_map<std::uint64_t, std::vector<RankTopology>> table_;
+  void generate_degree_impl(int degree, const GenerateOptions& options,
+                            CheckpointState* resume);
+
+  std::map<int, Slice> slices_;
   std::map<int, DegreeStats> stats_;
+  /// Keeps the mapping alive for mmap-backed slices; null for heap tables.
+  std::shared_ptr<const MmapFile> mapping_;
+  /// Error-message context: the source path, or "<generated>".
+  std::string origin_ = "<generated>";
   int max_degree_ = 3;
 };
 

@@ -1,0 +1,108 @@
+// XXH64: the 64-bit xxHash checksum (Yann Collet's public-domain
+// algorithm), reimplemented here so the on-disk lookup-table format can
+// carry per-section integrity checksums without an external dependency.
+//
+// This is a checksum, not a cryptographic hash: it detects torn writes,
+// truncation and bit rot, nothing adversarial.  One-shot API only — the
+// format code always has the whole section in (mapped) memory.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace patlabor::util {
+
+namespace xxdetail {
+
+inline constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint64_t read64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;  // format and hosts are little-endian (static_assert below)
+}
+
+inline std::uint32_t read32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline std::uint64_t round_step(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kPrime2;
+  acc = std::rotl(acc, 31);
+  return acc * kPrime1;
+}
+
+inline std::uint64_t merge_round(std::uint64_t acc, std::uint64_t val) {
+  acc ^= round_step(0, val);
+  return acc * kPrime1 + kPrime4;
+}
+
+}  // namespace xxdetail
+
+static_assert(std::endian::native == std::endian::little,
+              "lookup-table format code assumes a little-endian host");
+
+/// One-shot XXH64 of a byte range.
+inline std::uint64_t xxhash64(std::span<const std::uint8_t> data,
+                              std::uint64_t seed = 0) {
+  using namespace xxdetail;
+  const std::uint8_t* p = data.data();
+  const std::uint8_t* const end = p + data.size();
+  std::uint64_t h;
+
+  if (data.size() >= 32) {
+    std::uint64_t v1 = seed + kPrime1 + kPrime2;
+    std::uint64_t v2 = seed + kPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = round_step(v1, read64(p));
+      v2 = round_step(v2, read64(p + 8));
+      v3 = round_step(v3, read64(p + 16));
+      v4 = round_step(v4, read64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = std::rotl(v1, 1) + std::rotl(v2, 7) + std::rotl(v3, 12) +
+        std::rotl(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(data.size());
+  while (p + 8 <= end) {
+    h ^= round_step(0, read64(p));
+    h = std::rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(read32(p)) * kPrime1;
+    h = std::rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+    h = std::rotl(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace patlabor::util

@@ -1,0 +1,350 @@
+// The on-disk container (lut_format.hpp): v2 roundtrips, mmap parity,
+// checkpoint/resume bit-identity, the committed v1 golden file, and
+// hostile-input decoding (every count/offset/checksum a file can lie
+// about must be caught, never trusted).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "patlabor/lut/lut.hpp"
+#include "patlabor/lut/lut_format.hpp"
+#include "patlabor/par/pool.hpp"
+#include "patlabor/util/xxhash.hpp"
+#include "test_util.hpp"
+
+#ifndef PATLABOR_TEST_DATA_DIR
+#define PATLABOR_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace patlabor {
+namespace {
+
+using lut::FormatError;
+using lut::LookupTable;
+
+// Content hash of the committed golden v1 degree-4 table; also the hash
+// every degree-4 regeneration with default options must reproduce.
+constexpr std::uint64_t kGoldenDeg4Hash = 0x23101cd52f4793c3ULL;
+
+std::string golden_v1_path() {
+  return std::string(PATLABOR_TEST_DATA_DIR) + "/lut_v1_deg4.bin";
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+template <typename T>
+T peek(const std::vector<std::uint8_t>& bytes, std::size_t offset) {
+  T v{};
+  std::memcpy(&v, bytes.data() + offset, sizeof v);
+  return v;
+}
+
+template <typename T>
+void poke(std::vector<std::uint8_t>& bytes, std::size_t offset, T v) {
+  std::memcpy(bytes.data() + offset, &v, sizeof v);
+}
+
+/// A fresh degree-4 table saved as v2, returned as raw bytes.
+std::vector<std::uint8_t> fresh_v2_bytes(const std::string& path) {
+  LookupTable::generate(4).save(path);
+  return read_file(path);
+}
+
+TEST(XxHash, KnownVectors) {
+  const auto hash = [](const char* s) {
+    return util::xxhash64(
+        {reinterpret_cast<const std::uint8_t*>(s), std::strlen(s)});
+  };
+  EXPECT_EQ(hash(""), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(hash("a"), 0xD24EC4F1A98C6E5BULL);
+  EXPECT_EQ(hash("abc"), 0x44BC2CF5AD770999ULL);
+}
+
+TEST(LutFormat, V2SaveLoadRoundtrip) {
+  const std::string path = tmp_path("roundtrip.bin");
+  const LookupTable generated = LookupTable::generate(4);
+  generated.save(path);
+
+  const LookupTable loaded = LookupTable::load(path);
+  EXPECT_EQ(loaded.content_hash(), generated.content_hash());
+  EXPECT_EQ(loaded.content_hash(), kGoldenDeg4Hash);
+  EXPECT_EQ(loaded.max_degree(), 4);
+  ASSERT_TRUE(loaded.stats().count(4));
+  const auto& st = loaded.stats().at(4);
+  const auto& gt = generated.stats().at(4);
+  EXPECT_EQ(st.indices, gt.indices);
+  EXPECT_EQ(st.patterns, gt.patterns);
+  EXPECT_EQ(st.topologies, gt.topologies);
+  EXPECT_EQ(st.lp_calls, gt.lp_calls);
+  EXPECT_EQ(loaded.storage().backend, lut::LookupTable::StorageBackend::kHeap);
+}
+
+TEST(LutFormat, MmapParity) {
+  const std::string path = tmp_path("parity.bin");
+  LookupTable::generate(4).save(path);
+
+  const LookupTable heap = LookupTable::load(path);
+  const LookupTable mapped = LookupTable::load_mmap(path);
+  EXPECT_EQ(mapped.content_hash(), heap.content_hash());
+  EXPECT_EQ(mapped.storage().backend, lut::LookupTable::StorageBackend::kMmap);
+  EXPECT_GT(mapped.storage().bytes, 0u);
+
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const geom::Net net = testing::random_net(rng, 4);
+    const auto a = heap.query(net);
+    const auto b = mapped.query(net);
+    ASSERT_EQ(a.frontier.size(), b.frontier.size()) << "net " << i;
+    for (std::size_t s = 0; s < a.frontier.size(); ++s)
+      EXPECT_EQ(a.frontier[s], b.frontier[s]) << "net " << i;
+  }
+}
+
+TEST(LutFormat, ScaledCopyKeepsQueriesAndGrowsTheFile) {
+  const std::string path = tmp_path("scale_src.bin");
+  const std::string scaled_path = tmp_path("scale_dst.bin");
+  LookupTable::generate(4).save(path);
+  const std::uint64_t src_size = read_file(path).size();
+
+  lut::TableIo::write_scaled_copy(path, scaled_path, 64 * src_size);
+  const auto rep = lut::inspect_table_file(scaled_path);
+  EXPECT_EQ(rep.version, 2);
+  EXPECT_GE(rep.file_size, 64 * src_size);
+  // A scaled file is a valid v2 table: stored and recomputed content
+  // hashes agree, and heap and mmap loads see the same content.
+  EXPECT_EQ(rep.stored_content_hash, rep.computed_content_hash);
+  const LookupTable heap = LookupTable::load(scaled_path);
+  const LookupTable mapped = LookupTable::load_mmap(scaled_path);
+  EXPECT_EQ(heap.content_hash(), mapped.content_hash());
+
+  // Replica 0 keeps the original codes, so real queries answer exactly
+  // as the unscaled table does.
+  const LookupTable base = LookupTable::load(path);
+  util::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const geom::Net net = testing::random_net(rng, 4);
+    const auto a = base.query(net);
+    const auto b = mapped.query(net);
+    ASSERT_EQ(a.frontier.size(), b.frontier.size()) << "net " << i;
+    for (std::size_t s = 0; s < a.frontier.size(); ++s)
+      EXPECT_EQ(a.frontier[s], b.frontier[s]) << "net " << i;
+  }
+}
+
+TEST(LutFormat, OpenDispatchesByMagic) {
+  const std::string path = tmp_path("open_v2.bin");
+  LookupTable::generate(4).save(path);
+  EXPECT_EQ(LookupTable::open(path).storage().backend,
+            lut::LookupTable::StorageBackend::kMmap);
+  // v1 has no flat payload to map; open() falls back to the heap parse.
+  EXPECT_EQ(LookupTable::open(golden_v1_path()).storage().backend,
+            lut::LookupTable::StorageBackend::kHeap);
+}
+
+TEST(LutFormat, GoldenV1StillLoads) {
+  const LookupTable golden = LookupTable::load(golden_v1_path());
+  EXPECT_EQ(golden.content_hash(), kGoldenDeg4Hash);
+  EXPECT_EQ(golden.max_degree(), 4);
+
+  const auto report = lut::inspect_table_file(golden_v1_path());
+  EXPECT_EQ(report.version, 1);
+  EXPECT_FALSE(report.checkpoint);
+  EXPECT_EQ(report.stored_content_hash, 0u);  // v1 stores no hash
+  EXPECT_EQ(report.computed_content_hash, kGoldenDeg4Hash);
+  EXPECT_EQ(report.max_degree, 4);
+}
+
+TEST(LutFormat, InspectV2ReportsStoredHash) {
+  const std::string path = tmp_path("inspect.bin");
+  LookupTable::generate(4).save(path);
+  const auto report = lut::inspect_table_file(path);
+  EXPECT_EQ(report.version, 2);
+  EXPECT_EQ(report.stored_content_hash, kGoldenDeg4Hash);
+  EXPECT_EQ(report.computed_content_hash, kGoldenDeg4Hash);
+  ASSERT_EQ(report.sections.size(), 1u);
+  EXPECT_EQ(report.sections[0].kind, lut::kSectionDegree);
+  EXPECT_TRUE(report.sections[0].checksums_ok);
+}
+
+TEST(LutFormat, MissingFileNamesErrno) {
+  const std::string path = tmp_path("does_not_exist.bin");
+  try {
+    LookupTable::load(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("No such file"), std::string::npos);
+  }
+}
+
+TEST(LutFormat, HostileTruncatedV2) {
+  const std::string path = tmp_path("trunc.bin");
+  auto bytes = fresh_v2_bytes(path);
+  bytes.resize(bytes.size() / 2);
+  write_file(path, bytes);
+  EXPECT_THROW(LookupTable::load(path), FormatError);
+  EXPECT_THROW(LookupTable::load_mmap(path), FormatError);
+}
+
+TEST(LutFormat, HostileTruncatedV1ReportsOffset) {
+  const std::string path = tmp_path("trunc_v1.bin");
+  auto bytes = read_file(golden_v1_path());
+  bytes.resize(bytes.size() - 7);
+  write_file(path, bytes);
+  try {
+    LookupTable::load(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated at byte"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LutFormat, HostileBadMagic) {
+  const std::string path = tmp_path("magic.bin");
+  auto bytes = fresh_v2_bytes(path);
+  bytes[0] = 'X';
+  write_file(path, bytes);
+  EXPECT_THROW(LookupTable::load(path), FormatError);
+  EXPECT_THROW(LookupTable::open(path), FormatError);
+}
+
+TEST(LutFormat, HostileWrongVersion) {
+  const std::string path = tmp_path("version.bin");
+  auto bytes = fresh_v2_bytes(path);
+  poke<std::uint32_t>(bytes, 8, 99);  // FileHeader.version
+  write_file(path, bytes);
+  EXPECT_THROW(LookupTable::load(path), FormatError);
+}
+
+TEST(LutFormat, HostileLyingCountsAndOffsets) {
+  const std::string base = tmp_path("lies.bin");
+  const auto good = fresh_v2_bytes(base);
+  // SectionEntry of the first section starts right after the header.
+  const std::size_t sec = sizeof(lut::FileHeader);
+
+  {  // index_count far beyond the file
+    auto bytes = good;
+    poke<std::uint64_t>(bytes, sec + 16, 1ULL << 40);
+    write_file(base, bytes);
+    EXPECT_THROW(LookupTable::load(base), FormatError);
+    EXPECT_THROW(LookupTable::load_mmap(base), FormatError);
+  }
+  {  // blob_offset pointing past the end
+    auto bytes = good;
+    poke<std::uint64_t>(bytes, sec + 24, bytes.size() + 4096);
+    write_file(base, bytes);
+    EXPECT_THROW(LookupTable::load(base), FormatError);
+    EXPECT_THROW(LookupTable::load_mmap(base), FormatError);
+  }
+  {  // header file_size disagreeing with reality
+    auto bytes = good;
+    poke<std::uint64_t>(bytes, 40, bytes.size() * 2);
+    write_file(base, bytes);
+    EXPECT_THROW(LookupTable::load(base), FormatError);
+  }
+}
+
+TEST(LutFormat, HostileChecksumMismatch) {
+  const std::string path = tmp_path("corrupt.bin");
+  auto bytes = fresh_v2_bytes(path);
+  // Flip one byte of the first section's blob payload.
+  const std::size_t sec = sizeof(lut::FileHeader);
+  const auto blob_offset = peek<std::uint64_t>(bytes, sec + 24);
+  ASSERT_LT(blob_offset, bytes.size());
+  bytes[blob_offset] ^= 0xFF;
+  write_file(path, bytes);
+  try {
+    LookupTable::load(path);
+    FAIL() << "expected FormatError";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+  // The stored hash no longer matches the payload either.
+  const auto report = lut::inspect_table_file(path);
+  EXPECT_FALSE(report.sections[0].checksums_ok);
+}
+
+TEST(LutFormat, CheckpointResumeIsBitIdentical) {
+  // A 2-thread pool keeps the merge window small enough that the abort
+  // hook fires mid-degree regardless of the host's core count.
+  par::ThreadPool pool(2);
+  LookupTable::GenerateOptions single;
+  single.pool = &pool;
+  const std::uint64_t want = LookupTable::generate(5, single).content_hash();
+
+  const std::string ck = tmp_path("resume.ckpt");
+  std::remove(ck.c_str());
+  LookupTable::GenerateOptions opt;
+  opt.pool = &pool;
+  opt.checkpoint_path = ck;
+  opt.checkpoint_every = 4;
+  opt.abort_after_patterns = 6;
+
+  int aborts = 0;
+  LookupTable resumed;
+  for (;;) {
+    try {
+      resumed = LookupTable::generate(5, opt);
+      break;
+    } catch (const lut::GenerationAborted&) {
+      ++aborts;
+      ASSERT_LT(aborts, 64) << "abort/resume loop did not converge";
+      opt.resume = true;
+    }
+  }
+  EXPECT_GE(aborts, 1) << "abort hook never fired; resume path untested";
+  EXPECT_EQ(resumed.content_hash(), want);
+
+  // The last checkpoint on disk is a valid container that inspect() can
+  // read but the table loaders must refuse.
+  const auto report = lut::inspect_table_file(ck);
+  EXPECT_TRUE(report.checkpoint);
+  EXPECT_THROW(LookupTable::load(ck), FormatError);
+  EXPECT_THROW(LookupTable::load_mmap(ck), FormatError);
+  std::remove(ck.c_str());
+}
+
+TEST(LutFormat, ResumeRefusesChangedDwOptions) {
+  par::ThreadPool pool(2);
+  const std::string ck = tmp_path("dwflags.ckpt");
+  std::remove(ck.c_str());
+  LookupTable::GenerateOptions opt;
+  opt.pool = &pool;
+  opt.checkpoint_path = ck;
+  opt.checkpoint_every = 4;
+  opt.abort_after_patterns = 6;
+  EXPECT_THROW(LookupTable::generate(5, opt), lut::GenerationAborted);
+
+  opt.resume = true;
+  opt.abort_after_patterns = 0;
+  opt.dw.corner_pruning = !opt.dw.corner_pruning;
+  EXPECT_THROW(LookupTable::generate(5, opt), FormatError);
+  std::remove(ck.c_str());
+}
+
+}  // namespace
+}  // namespace patlabor

@@ -3,14 +3,28 @@
 //   patlabor_cli gen  <uniform|clustered|smoothed> <count> <degree> <out.nets>
 //                     [seed] [kappa]
 //   patlabor_cli route <in.nets> [--method <name>] [--params a,b,...]
-//                      [--lut <path>] [--lambda N] [--jobs N] [--no-cache]
-//                      [--csv <out.csv>] [--stats] [--trace <out.json>]
-//                      [--events <out.jsonl>] [--events-deterministic]
-//                      [--metrics-dump <out.prom>] [--remote <socket>]
+//                      [--lut <path>] [--lut-heap] [--lambda N] [--jobs N]
+//                      [--no-cache] [--csv <out.csv>] [--stats]
+//                      [--trace <out.json>] [--events <out.jsonl>]
+//                      [--events-deterministic] [--metrics-dump <out.prom>]
+//                      [--remote <socket>]
 //   patlabor_cli route --list-methods
 //   patlabor_cli lutgen <max_degree> <out.bin> [--jobs N] [--stats]
-//                       [--trace <out.json>]
-//   patlabor_cli lutinfo <table.bin>
+//                       [--trace <out.json>] [--checkpoint <ck.bin>]
+//                       [--checkpoint-every N] [--resume]
+//   patlabor_cli lut info <table.bin>   (alias: lutinfo)
+//
+// route --lut maps format-v2 tables read-only (open()): queries serve
+// straight from the page cache and concurrent processes share one physical
+// copy; --lut-heap forces the old private heap parse.  lutgen --checkpoint
+// makes generation atomically checkpoint its progress so a killed run
+// continues with --resume, producing a content_hash-identical table; the
+// PATLABOR_LUTGEN_ABORT_AFTER=N env var aborts after N merged patterns
+// (exit code 75) to exercise exactly that path.
+//
+// lut info prints the container header, per-degree stats, section sizes
+// and the content hash for v1 and v2 files (and checkpoints) without
+// loading any topology into the heap.
 //
 // route --remote <socket> sends the nets to a running patlabord over its
 // wire protocol instead of routing in-process (serve::Client); frontiers
@@ -52,6 +66,7 @@
 #include <string>
 #include <string_view>
 
+#include "patlabor/lut/lut_format.hpp"
 #include "patlabor/obs/events.hpp"
 #include "patlabor/obs/metrics.hpp"
 #include "patlabor/obs/obs.hpp"
@@ -75,14 +90,15 @@ int usage() {
       "  patlabor_cli gen <uniform|clustered|smoothed> <count> <degree> "
       "<out.nets> [seed] [kappa]\n"
       "  patlabor_cli route <in.nets> [--method <name>] [--params a,b,...] "
-      "[--lut <path>] [--lambda N] [--jobs N] [--no-cache] [--csv <out.csv>] "
-      "[--stats] [--trace <out.json>] [--events <out.jsonl>] "
-      "[--events-deterministic] [--metrics-dump <out.prom>] "
-      "[--remote <socket>]\n"
+      "[--lut <path>] [--lut-heap] [--lambda N] [--jobs N] [--no-cache] "
+      "[--csv <out.csv>] [--stats] [--trace <out.json>] "
+      "[--events <out.jsonl>] [--events-deterministic] "
+      "[--metrics-dump <out.prom>] [--remote <socket>]\n"
       "  patlabor_cli route --list-methods\n"
       "  patlabor_cli lutgen <max_degree> <out.bin> [--jobs N] [--stats] "
-      "[--trace <out.json>]\n"
-      "  patlabor_cli lutinfo <table.bin>\n");
+      "[--trace <out.json>] [--checkpoint <ck.bin>] [--checkpoint-every N] "
+      "[--resume]\n"
+      "  patlabor_cli lut info <table.bin>\n");
   return 2;
 }
 
@@ -298,11 +314,14 @@ int cmd_route(int argc, char** argv) {
   bool stats = false;
   bool no_cache = false;
   bool events_deterministic = false;
+  bool lut_heap = false;
   std::size_t lambda = 9;
   std::size_t jobs = 0;  // 0 = default (PATLABOR_JOBS env / hardware)
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lut") == 0 && i + 1 < argc) {
       lut_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--lut-heap") == 0) {
+      lut_heap = true;
     } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
       request.method = argv[++i];
       try {
@@ -345,11 +364,11 @@ int cmd_route(int argc, char** argv) {
   if (!remote_socket.empty()) {
     // Engine configuration belongs to the daemon; accepting these locally
     // would silently answer under a different config than requested.
-    if (!lut_path.empty() || no_cache || lambda != 9 || jobs != 0 ||
-        !events_path.empty())
+    if (!lut_path.empty() || lut_heap || no_cache || lambda != 9 ||
+        jobs != 0 || !events_path.empty())
       throw CliError(
-          "--remote is incompatible with --lut/--lambda/--jobs/--no-cache/"
-          "--events (configure the daemon instead)");
+          "--remote is incompatible with --lut/--lut-heap/--lambda/--jobs/"
+          "--no-cache/--events (configure the daemon instead)");
     return route_remote(remote_socket, in, request, csv_path);
   }
 
@@ -395,7 +414,8 @@ int cmd_route(int argc, char** argv) {
     engine::Engine eng(eopt);
     if (!lut_path.empty()) {
       PL_SPAN("lut.load");
-      eng.adopt_table(lut::LookupTable::load(lut_path));
+      eng.adopt_table(lut_heap ? lut::LookupTable::load(lut_path)
+                               : lut::LookupTable::open(lut_path));
     }
 
     std::vector<geom::Net> nets;
@@ -459,6 +479,7 @@ int cmd_lutgen(int argc, char** argv) {
   const std::string out = argv[3];
   std::string trace_path;
   bool stats = false;
+  lut::LookupTable::GenerateOptions gopt;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
@@ -467,19 +488,42 @@ int cmd_lutgen(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       par::set_jobs(static_cast<std::size_t>(
           parse_count(argv[++i], "jobs", /*min_value=*/1)));
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      gopt.checkpoint_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      gopt.checkpoint_every =
+          parse_count(argv[++i], "checkpoint interval", /*min_value=*/1);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      gopt.resume = true;
     } else {
       return usage();
     }
   }
+  if (gopt.resume && gopt.checkpoint_path.empty())
+    throw CliError("--resume requires --checkpoint <ck.bin>");
+  if (const char* abort_env = std::getenv("PATLABOR_LUTGEN_ABORT_AFTER"))
+    gopt.abort_after_patterns = parse_count(
+        abort_env, "PATLABOR_LUTGEN_ABORT_AFTER", /*min_value=*/1);
 
   ObsSession obs_session(stats, trace_path);
-  {
+  try {
     PL_SPAN("cli.lutgen");
-    const lut::LookupTable table = lut::LookupTable::generate(max_degree);
+    const lut::LookupTable table =
+        lut::LookupTable::generate(max_degree, gopt);
     {
       PL_SPAN("lut.save");
       table.save(out);
     }
+    // The finished table supersedes the checkpoint.
+    if (!gopt.checkpoint_path.empty())
+      std::remove(gopt.checkpoint_path.c_str());
+  } catch (const lut::GenerationAborted& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::fprintf(stderr, "checkpoint left at %s; continue with --resume\n",
+                 gopt.checkpoint_path.c_str());
+    obs_session.finish();
+    return 75;  // EX_TEMPFAIL: partial progress saved, rerun to continue
   }
   std::printf("lookup table (degrees 4..%d) saved to %s\n", max_degree,
               out.c_str());
@@ -487,19 +531,70 @@ int cmd_lutgen(int argc, char** argv) {
   return 0;
 }
 
-int cmd_lutinfo(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const lut::LookupTable table = lut::LookupTable::load(argv[2]);
-  io::AsciiTable out({"Degree", "#Index", "#Topo avg", "Size (MB)",
-                      "Gen time", "LP calls"});
-  for (const auto& [degree, st] : table.stats())
-    out.add_row({std::to_string(degree),
-                 util::with_commas(static_cast<std::int64_t>(st.indices)),
-                 util::fixed(st.avg_topologies(), 2),
-                 util::fixed(static_cast<double>(st.bytes) / 1e6, 3),
-                 util::format_duration(st.gen_seconds),
-                 util::with_commas(st.lp_calls)});
-  out.print(std::string("lookup table ") + argv[2]);
+/// lut info: container metadata straight off the file — header fields,
+/// per-degree stats, section table, checksums, content hash — with no
+/// topology ever loaded into the heap (v2 is inspected through a read-only
+/// mapping, v1 is streamed).
+int cmd_lutinfo(int argc, char** argv, int path_arg) {
+  if (argc < path_arg + 1) return usage();
+  const std::string path = argv[path_arg];
+  const lut::TableFileReport rep = lut::inspect_table_file(path);
+  std::printf("%s: PatLabor lookup table, format v%d%s\n", path.c_str(),
+              rep.version, rep.checkpoint ? " (generation checkpoint)" : "");
+  std::printf("  file size      %s bytes\n",
+              util::with_commas(static_cast<std::int64_t>(rep.file_size))
+                  .c_str());
+  if (rep.version >= 2)
+    std::printf("  lambda         %u\n", rep.lambda);
+  std::printf("  max degree     %d\n", rep.max_degree);
+  if (rep.version >= 2)
+    std::printf("  content hash   %016llx (stored), %016llx (computed)%s\n",
+                static_cast<unsigned long long>(rep.stored_content_hash),
+                static_cast<unsigned long long>(rep.computed_content_hash),
+                rep.stored_content_hash == rep.computed_content_hash
+                    ? ""
+                    : "  ** MISMATCH **");
+  else
+    std::printf("  content hash   %016llx (computed; v1 stores none)\n",
+                static_cast<unsigned long long>(rep.computed_content_hash));
+  if (rep.checkpoint)
+    std::printf("  checkpoint     degree %d in progress, %llu/%llu patterns "
+                "merged\n",
+                rep.ck_degree,
+                static_cast<unsigned long long>(rep.ck_completed_patterns),
+                static_cast<unsigned long long>(rep.ck_total_patterns));
+
+  io::AsciiTable st_out({"Degree", "#Index", "#Topo avg", "Size (MB)",
+                         "Gen time", "LP calls"});
+  for (const auto& [degree, st] : rep.stats)
+    st_out.add_row({std::to_string(degree),
+                    util::with_commas(static_cast<std::int64_t>(st.indices)),
+                    util::fixed(st.avg_topologies(), 2),
+                    util::fixed(static_cast<double>(st.bytes) / 1e6, 3),
+                    util::format_duration(st.gen_seconds),
+                    util::with_commas(st.lp_calls)});
+  st_out.print("per-degree stats");
+
+  if (!rep.sections.empty()) {
+    io::AsciiTable sec_out(
+        {"Section", "Degree", "Entries", "Index B", "Blob B", "Checksums"});
+    int si = 0;
+    for (const auto& s : rep.sections) {
+      const char* kind = s.kind == lut::kSectionDegree     ? "degree"
+                         : s.kind == lut::kSectionPartial  ? "partial"
+                                                           : "checkpoint";
+      sec_out.add_row(
+          {std::to_string(si++) + " (" + kind + ")",
+           s.kind == lut::kSectionCheckpoint ? "-" : std::to_string(s.degree),
+           util::with_commas(static_cast<std::int64_t>(s.entries)),
+           util::with_commas(static_cast<std::int64_t>(s.index_bytes)),
+           util::with_commas(static_cast<std::int64_t>(s.blob_bytes)),
+           s.checksums_ok ? "ok" : "MISMATCH"});
+    }
+    sec_out.print("sections");
+  }
+  for (const auto& s : rep.sections)
+    if (!s.checksums_ok) return 1;
   return 0;
 }
 
@@ -512,7 +607,9 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(argc, argv);
     if (cmd == "route") return cmd_route(argc, argv);
     if (cmd == "lutgen") return cmd_lutgen(argc, argv);
-    if (cmd == "lutinfo") return cmd_lutinfo(argc, argv);
+    if (cmd == "lutinfo") return cmd_lutinfo(argc, argv, 2);
+    if (cmd == "lut" && argc >= 3 && std::strcmp(argv[2], "info") == 0)
+      return cmd_lutinfo(argc, argv, 3);
     return usage();
   } catch (const CliError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
